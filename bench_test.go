@@ -1,0 +1,121 @@
+package nocout
+
+import (
+	"strings"
+	"testing"
+)
+
+// benchQ trades statistical tightness for runtime; the cmd/nocout-experiments
+// tool runs the same experiments at Full quality.
+var benchQ = Quality{Warmup: 8000, Window: 14000, Seeds: 1}
+
+// BenchmarkFigure1 regenerates Figure 1: per-core performance vs core count
+// for ideal and mesh interconnects (Data Serving, MapReduce-W).
+// Paper anchor: ~22% mesh-vs-ideal gap at 64 cores.
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := Figure1(benchQ)
+		b.ReportMetric(r.GapAt64*100, "gap@64cores,%")
+		if i == 0 {
+			b.Log("\n" + r.Table().String())
+		}
+	}
+}
+
+// BenchmarkFigure4 regenerates Figure 4: % of LLC accesses triggering a
+// snoop. Paper anchor: mean ~2%, all workloads below ~4.5%.
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := Figure4(benchQ)
+		b.ReportMetric(r.MeanPct, "mean-snoop,%")
+		if i == 0 {
+			b.Log("\n" + r.Table().String())
+		}
+	}
+}
+
+// BenchmarkFigure7 regenerates Figure 7: system performance normalized to
+// the mesh at fixed 128-bit links. Paper anchors: fbfly +17% gmean over
+// mesh; NOC-Out matches fbfly.
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := Figure7(benchQ)
+		b.ReportMetric(r.GMean["Flattened Butterfly"], "fbfly/mesh")
+		b.ReportMetric(r.GMean["NOC-Out"], "nocout/mesh")
+		if i == 0 {
+			b.Log("\n" + r.Table().String())
+		}
+	}
+}
+
+// BenchmarkFigure8 regenerates Figure 8: NoC area breakdown. Paper anchors:
+// mesh ~3.5 mm², fbfly ~23 mm², NOC-Out ~2.5 mm².
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := Figure8()
+		b.ReportMetric(r.Breakdowns[0].Total(), "mesh,mm2")
+		b.ReportMetric(r.Breakdowns[1].Total(), "fbfly,mm2")
+		b.ReportMetric(r.Breakdowns[2].Total(), "nocout,mm2")
+		if i == 0 {
+			b.Log("\n" + r.Table().String())
+		}
+	}
+}
+
+// BenchmarkFigure9 regenerates Figure 9: performance under NOC-Out's area
+// budget. Paper anchors: NOC-Out +19% over mesh, +65% over fbfly.
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := Figure9(benchQ)
+		b.ReportMetric(r.GMean["NOC-Out"], "nocout/mesh")
+		b.ReportMetric(r.GMean["NOC-Out"]/r.GMean["Flattened Butterfly"], "nocout/fbfly")
+		if i == 0 {
+			b.Log("\n" + r.Table().String())
+		}
+	}
+}
+
+// BenchmarkPowerStudy regenerates the §6.4 power analysis. Paper anchors:
+// mesh 1.8 W, fbfly 1.6 W, NOC-Out 1.3 W.
+func BenchmarkPowerStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := PowerStudy(benchQ)
+		for j, d := range r.Designs {
+			unit := strings.ReplaceAll(d, " ", "-") + ",W"
+			b.ReportMetric(r.Power[j].Total(), unit)
+		}
+		if i == 0 {
+			b.Log("\n" + r.Table().String())
+		}
+	}
+}
+
+// BenchmarkBankingAblation regenerates the §4.3 banking study. Paper anchor:
+// four cores per bank within ~2% of one bank per core.
+func BenchmarkBankingAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := BankingAblation(benchQ)
+		worst := 1.0
+		for _, v := range r.Normalized {
+			if v < worst {
+				worst = v
+			}
+		}
+		b.ReportMetric(worst, "worst-vs-most-banked")
+		if i == 0 {
+			b.Log("\n" + r.Table().String())
+		}
+	}
+}
+
+// BenchmarkScalingAblation regenerates the §7.1 scalability discussion:
+// 128-core NOC-Out via concentration and via express links.
+func BenchmarkScalingAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := ScalingAblation(benchQ)
+		b.ReportMetric(r.PerCoreIPC[1]/r.PerCoreIPC[0], "conc2-vs-base")
+		if i == 0 {
+			b.Log("\n" + r.Table().String())
+		}
+	}
+}

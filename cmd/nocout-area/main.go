@@ -1,0 +1,33 @@
+// Command nocout-area prints the NoC area model's view of the three
+// organizations (Figure 8) and the equal-area link widths behind Figure 9.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"nocout"
+	"nocout/internal/core"
+	"nocout/internal/physic"
+)
+
+func main() {
+	linkBits := flag.Int("linkbits", 128, "link width in bits")
+	flag.Parse()
+
+	fmt.Println(nocout.Figure8().Table())
+
+	budget := physic.NOCOutTotalArea(core.DefaultConfig(), *linkBits).Total()
+	fmt.Printf("Equal-area link widths at NOC-Out's %.2f mm² budget:\n", budget)
+	for _, d := range []string{"mesh", "fbfly"} {
+		w, a := physic.SolveWidthForArea(d, budget)
+		fmt.Printf("  %-6s %3d bits  (%v)\n", d, w, a)
+	}
+
+	fmt.Println("\nNOC-Out composition (§6.2):")
+	red, disp, llc := physic.NOCOutArea(core.DefaultConfig(), *linkBits)
+	total := red.Add(disp).Add(llc).Total()
+	fmt.Printf("  reduction trees:  %5.2f mm² (%2.0f%%)\n", red.Total(), red.Total()/total*100)
+	fmt.Printf("  dispersion trees: %5.2f mm² (%2.0f%%)\n", disp.Total(), disp.Total()/total*100)
+	fmt.Printf("  LLC butterfly:    %5.2f mm² (%2.0f%%)\n", llc.Total(), llc.Total()/total*100)
+}

@@ -1,0 +1,63 @@
+// Command nocout-experiments regenerates the paper's evaluation figures and
+// tables as text reports.
+//
+// Usage:
+//
+//	nocout-experiments                 # everything, quick quality
+//	nocout-experiments -fig 7 -quality full
+//	nocout-experiments -fig 1,8,9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"nocout"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("nocout-experiments: ")
+
+	figs := flag.String("fig", "all", "comma-separated: 1,4,7,8,9,power,banking,scaling,table1 or all")
+	quality := flag.String("quality", "quick", "quick | full")
+	flag.Parse()
+
+	q := nocout.Quick
+	if *quality == "full" {
+		q = nocout.Full
+	}
+
+	want := map[string]bool{}
+	if *figs == "all" {
+		for _, f := range []string{"table1", "1", "4", "7", "8", "9", "power", "banking", "scaling"} {
+			want[f] = true
+		}
+	} else {
+		for _, f := range strings.Split(*figs, ",") {
+			want[strings.TrimSpace(f)] = true
+		}
+	}
+
+	run := func(name string, fn func() fmt.Stringer) {
+		if !want[name] {
+			return
+		}
+		start := time.Now()
+		fmt.Println(fn().String())
+		fmt.Printf("  [%s: %.1fs]\n\n", name, time.Since(start).Seconds())
+	}
+
+	run("table1", func() fmt.Stringer { return nocout.Table1() })
+	run("1", func() fmt.Stringer { return nocout.Figure1(q).Table() })
+	run("4", func() fmt.Stringer { return nocout.Figure4(q).Table() })
+	run("7", func() fmt.Stringer { return nocout.Figure7(q).Table() })
+	run("8", func() fmt.Stringer { return nocout.Figure8().Table() })
+	run("9", func() fmt.Stringer { return nocout.Figure9(q).Table() })
+	run("power", func() fmt.Stringer { return nocout.PowerStudy(q).Table() })
+	run("banking", func() fmt.Stringer { return nocout.BankingAblation(q).Table() })
+	run("scaling", func() fmt.Stringer { return nocout.ScalingAblation(q).Table() })
+}

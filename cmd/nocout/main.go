@@ -1,0 +1,74 @@
+// Command nocout runs one CMP configuration under one scale-out workload
+// and prints the measured metrics.
+//
+// Usage:
+//
+//	nocout -design nocout -workload "Web Search" -quality full
+//	nocout -design mesh -cores 64 -linkbits 64 -workload "Data Serving"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"nocout"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("nocout: ")
+
+	design := flag.String("design", "nocout", "interconnect: mesh | fbfly | nocout | ideal")
+	wl := flag.String("workload", "Web Search", "workload name (see -list)")
+	list := flag.Bool("list", false, "list workloads and exit")
+	cores := flag.Int("cores", 64, "core count (power of two)")
+	linkBits := flag.Int("linkbits", 128, "NoC link width in bits")
+	quality := flag.String("quality", "quick", "quick | full")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	if *list {
+		for _, w := range nocout.Workloads() {
+			fmt.Println(w)
+		}
+		return
+	}
+
+	var d nocout.Design
+	switch strings.ToLower(*design) {
+	case "mesh":
+		d = nocout.Mesh
+	case "fbfly", "flattened-butterfly":
+		d = nocout.FBfly
+	case "nocout", "noc-out":
+		d = nocout.NOCOut
+	case "ideal":
+		d = nocout.Ideal
+	default:
+		log.Fatalf("unknown design %q", *design)
+	}
+
+	q := nocout.Quick
+	if *quality == "full" {
+		q = nocout.Full
+	}
+
+	cfg := nocout.DefaultConfig(d)
+	cfg.Cores = *cores
+	cfg.LinkBits = *linkBits
+	cfg.Seed = *seed
+
+	res, err := nocout.Run(cfg, *wl, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res)
+	fmt.Printf("  LLC miss rate: %.1f%%   L1-I MPKI: %.1f   L1-D MPKI: %.1f\n",
+		res.LLCMissRate*100, res.L1IMPKI, res.L1DMPKI)
+	if d != nocout.Ideal {
+		fmt.Printf("  NoC area: %v\n", nocout.Area(cfg))
+		fmt.Printf("  NoC power: %v\n", res.NoCPower)
+	}
+}

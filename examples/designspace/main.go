@@ -1,0 +1,47 @@
+// Design-space exploration in the spirit of the Scale-Out Processor
+// methodology the paper builds on (§2.2): sweep core count for a fixed
+// 8MB LLC on the mesh and NOC-Out organizations and report throughput and
+// throughput per unit of NoC area — the kind of cost-benefit analysis that
+// motivates NOC-Out's existence.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nocout"
+)
+
+func main() {
+	counts := []int{16, 32, 64}
+	fmt.Println("Scale-out design space: throughput vs interconnect cost (MapReduce-W)")
+	fmt.Println("----------------------------------------------------------------------")
+	fmt.Printf("%-8s %-10s %10s %12s %16s\n", "cores", "design", "agg IPC", "NoC mm²", "IPC per NoC mm²")
+
+	for _, n := range counts {
+		for _, d := range []nocout.Design{nocout.Mesh, nocout.NOCOut} {
+			cfg := nocout.DefaultConfig(d)
+			cfg.Cores = n
+			if d == nocout.NOCOut {
+				// Shape the NOC-Out organization for the core count:
+				// keep 8 columns where possible.
+				switch n {
+				case 16:
+					cfg.NOCOut = nocout.NOCOutOrg{Columns: 4, RowsPerSide: 2}
+				case 32:
+					cfg.NOCOut = nocout.NOCOutOrg{Columns: 8, RowsPerSide: 2}
+				case 64:
+					// paper baseline
+				}
+			}
+			res, err := nocout.Run(cfg, "MapReduce-W", nocout.Quick)
+			if err != nil {
+				log.Fatal(err)
+			}
+			area := nocout.Area(cfg).Total()
+			fmt.Printf("%-8d %-10v %10.2f %12.2f %16.2f\n",
+				n, d, res.AggIPC, area, res.AggIPC/area)
+		}
+	}
+	fmt.Println("\nNOC-Out holds the mesh's cost while delivering the low-diameter latency.")
+}

@@ -1,0 +1,41 @@
+// Latency study: the paper's motivating observation (§2.1) is that
+// scale-out workloads stall on instruction fetches served by the LLC, so
+// per-core performance degrades as the interconnect adds latency. This
+// example sweeps all four organizations on Data Serving — the most
+// latency-sensitive workload — and reports where the cycles go.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nocout"
+)
+
+func main() {
+	designs := []nocout.Design{nocout.Ideal, nocout.NOCOut, nocout.FBfly, nocout.Mesh}
+
+	fmt.Println("Data Serving, 64 cores: sensitivity to interconnect latency")
+	fmt.Println("------------------------------------------------------------")
+	fmt.Printf("%-20s %10s %12s %14s\n", "design", "agg IPC", "net latency", "LLC miss rate")
+
+	var ideal float64
+	for _, d := range designs {
+		res, err := nocout.Run(nocout.DefaultConfig(d), "Data Serving", nocout.Quick)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if d == nocout.Ideal {
+			ideal = res.AggIPC
+		}
+		fmt.Printf("%-20v %10.2f %9.1f cy %13.1f%%\n",
+			d, res.AggIPC, res.AvgNetLatency, res.LLCMissRate*100)
+	}
+
+	fmt.Println()
+	for _, d := range []nocout.Design{nocout.NOCOut, nocout.Mesh} {
+		res, _ := nocout.Run(nocout.DefaultConfig(d), "Data Serving", nocout.Quick)
+		fmt.Printf("%v achieves %.0f%% of the ideal fabric's throughput\n",
+			d, res.AggIPC/ideal*100)
+	}
+}

@@ -1,0 +1,33 @@
+// Quickstart: build the paper's 64-core NOC-Out chip, run a scale-out
+// workload, and print the headline metrics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nocout"
+)
+
+func main() {
+	cfg := nocout.DefaultConfig(nocout.NOCOut)
+
+	res, err := nocout.Run(cfg, "MapReduce-C", nocout.Quick)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("NOC-Out quickstart")
+	fmt.Println("------------------")
+	fmt.Println(res)
+	fmt.Printf("NoC area:  %v\n", nocout.Area(cfg))
+	fmt.Printf("NoC power: %v\n", res.NoCPower)
+
+	// Compare against the mesh baseline on the same workload.
+	mesh, err := nocout.Run(nocout.DefaultConfig(nocout.Mesh), "MapReduce-C", nocout.Quick)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nSpeedup over the tiled mesh: %.2fx (paper: NOC-Out ≈ +17%% gmean)\n",
+		res.AggIPC/mesh.AggIPC)
+}

@@ -1,0 +1,45 @@
+// Scaling study (§7.1): grow NOC-Out from 64 to 128 cores two ways —
+// concentration (two cores per tree port) and taller columns, with and
+// without express links that let distant cores bypass intermediate tree
+// nodes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nocout"
+)
+
+func main() {
+	type variant struct {
+		name string
+		org  nocout.NOCOutOrg
+	}
+	variants := []variant{
+		{"64-core baseline (8 cols x 4 rows/side)", nocout.NOCOutOrg{}},
+		{"128-core via concentration 2", nocout.NOCOutOrg{Columns: 8, RowsPerSide: 4, Concentration: 2}},
+		{"128-core via 8 rows/side", nocout.NOCOutOrg{Columns: 8, RowsPerSide: 8}},
+		{"128-core, 8 rows/side + express links", nocout.NOCOutOrg{Columns: 8, RowsPerSide: 8, ExpressFrom: 4}},
+	}
+
+	fmt.Println("NOC-Out scalability (§7.1), SAT Solver")
+	fmt.Println("---------------------------------------")
+	fmt.Printf("%-42s %8s %14s %12s\n", "variant", "cores", "per-core IPC", "net latency")
+
+	for _, v := range variants {
+		cfg := nocout.DefaultConfig(nocout.NOCOut)
+		org := v.org.WithDefaults()
+		cfg.NOCOut = org
+		cfg.Cores = org.NumCores()
+		// Keep the chip balanced: off-die bandwidth scales with cores.
+		cfg.MemChannels = 4 * cfg.Cores / 64
+		res, err := nocout.RunUnlimited(cfg, "SAT Solver", nocout.Quick)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-42s %8d %14.3f %9.1f cy\n", v.name, cfg.Cores, res.PerCoreIPC, res.AvgNetLatency)
+	}
+	fmt.Println("\nConcentration doubles the core count at nearly the same network cost;")
+	fmt.Println("express links recover the tree latency of the taller columns.")
+}

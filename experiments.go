@@ -1,0 +1,555 @@
+package nocout
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"nocout/internal/core"
+	"nocout/internal/physic"
+	"nocout/internal/stats"
+	"nocout/internal/workload"
+)
+
+// parallel runs n jobs across the available CPUs.
+func parallel(n int, job func(i int)) {
+	workers := runtime.NumCPU()
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				job(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// Table is a simple text table for experiment reports.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+func f3(x float64) string { return fmt.Sprintf("%.3f", x) }
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+
+// ---------------------------------------------------------------------------
+// Figure 1: effect of distance (core count) on per-core performance for
+// ideal and mesh interconnects, Data Serving and MapReduce-W, 8MB LLC.
+// ---------------------------------------------------------------------------
+
+// Figure1Result holds the normalized per-core performance series.
+type Figure1Result struct {
+	CoreCounts []int
+	// Series maps "workload (design)" to per-core performance normalized
+	// to the 1-core configuration.
+	Series map[string][]float64
+	// GapAt64 is 1 - mesh/ideal at 64 cores, averaged over the workloads
+	// (the paper reports ~22%).
+	GapAt64 float64
+}
+
+// Figure1 regenerates Figure 1.
+func Figure1(q Quality) Figure1Result {
+	counts := []int{1, 2, 4, 8, 16, 32, 64}
+	wls := []workload.Params{workload.DataServing, workload.MapReduceW}
+	designs := []Design{Ideal, Mesh}
+
+	type job struct {
+		w workload.Params
+		d Design
+		n int
+	}
+	var jobs []job
+	for _, w := range wls {
+		for _, d := range designs {
+			for _, n := range counts {
+				jobs = append(jobs, job{w, d, n})
+			}
+		}
+	}
+	results := make([]float64, len(jobs))
+	parallel(len(jobs), func(i int) {
+		j := jobs[i]
+		cfg := DefaultConfig(j.d)
+		cfg.Cores = j.n
+		w := j.w
+		w.MaxCores = j.n // Figure 1 scales the chip, not the workload
+		r := runW(cfg, w, q)
+		results[i] = r.PerCoreIPC
+	})
+
+	out := Figure1Result{CoreCounts: counts, Series: map[string][]float64{}}
+	idx := 0
+	for _, w := range wls {
+		for _, d := range designs {
+			key := fmt.Sprintf("%s (%v)", w.Name, d)
+			series := make([]float64, len(counts))
+			base := results[idx] // 1-core value
+			for k := range counts {
+				series[k] = results[idx] / base
+				idx++
+			}
+			out.Series[key] = series
+		}
+	}
+	// Average mesh/ideal gap at 64 cores.
+	gap := 0.0
+	for _, w := range wls {
+		ideal := out.Series[fmt.Sprintf("%s (%v)", w.Name, Ideal)]
+		mesh := out.Series[fmt.Sprintf("%s (%v)", w.Name, Mesh)]
+		gap += 1 - mesh[len(counts)-1]/ideal[len(counts)-1]
+	}
+	out.GapAt64 = gap / float64(len(wls))
+	return out
+}
+
+// Table renders the result.
+func (r Figure1Result) Table() *Table {
+	t := &Table{Title: "Figure 1: per-core performance vs core count (normalized to 1 core)"}
+	t.Header = []string{"series"}
+	for _, n := range r.CoreCounts {
+		t.Header = append(t.Header, fmt.Sprintf("%d", n))
+	}
+	for _, key := range sortedKeys(r.Series) {
+		row := []string{key}
+		for _, v := range r.Series[key] {
+			row = append(row, f3(v))
+		}
+		t.AddRow(row...)
+	}
+	t.AddRow(fmt.Sprintf("mesh-vs-ideal gap at 64 cores: %.0f%% (paper: ~22%%)", r.GapAt64*100))
+	return t
+}
+
+func sortedKeys(m map[string][]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4: percentage of LLC accesses triggering a snoop.
+// ---------------------------------------------------------------------------
+
+// Figure4Result maps workload name to snoop percentage.
+type Figure4Result struct {
+	Workloads []string
+	SnoopPct  []float64
+	MeanPct   float64
+}
+
+// Figure4 regenerates Figure 4 on the 64-core mesh.
+func Figure4(q Quality) Figure4Result {
+	wls := workload.All()
+	out := Figure4Result{}
+	pct := make([]float64, len(wls))
+	parallel(len(wls), func(i int) {
+		r := runW(DefaultConfig(Mesh), wls[i], q)
+		pct[i] = r.SnoopRate * 100
+	})
+	sum := 0.0
+	for i, w := range wls {
+		out.Workloads = append(out.Workloads, w.Name)
+		out.SnoopPct = append(out.SnoopPct, pct[i])
+		sum += pct[i]
+	}
+	out.MeanPct = sum / float64(len(wls))
+	return out
+}
+
+// Table renders the result.
+func (r Figure4Result) Table() *Table {
+	t := &Table{Title: "Figure 4: % of LLC accesses triggering a snoop (paper mean ~2%)",
+		Header: []string{"workload", "snoop %"}}
+	for i, w := range r.Workloads {
+		t.AddRow(w, f2(r.SnoopPct[i]))
+	}
+	t.AddRow("Mean", f2(r.MeanPct))
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7: system performance normalized to mesh, fixed 128-bit links.
+// ---------------------------------------------------------------------------
+
+// Figure7Result holds normalized performance per workload and design.
+type Figure7Result struct {
+	Workloads []string
+	// Normalized[design][i] is workload i's performance over mesh.
+	Normalized map[string][]float64
+	GMean      map[string]float64
+}
+
+// Figure7 regenerates Figure 7 (and its designs are reused by Figure 9).
+func Figure7(q Quality) Figure7Result {
+	return figurePerf(q, map[string]Config{
+		"Mesh":                DefaultConfig(Mesh),
+		"Flattened Butterfly": DefaultConfig(FBfly),
+		"NOC-Out":             DefaultConfig(NOCOut),
+	})
+}
+
+// figurePerf measures a set of configurations over the suite, normalizing
+// to the configuration named "Mesh".
+func figurePerf(q Quality, cfgs map[string]Config) Figure7Result {
+	wls := workload.All()
+	names := make([]string, 0, len(cfgs))
+	for n := range cfgs {
+		names = append(names, n)
+	}
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	type job struct{ w, d int }
+	var jobs []job
+	for wi := range wls {
+		for di := range names {
+			jobs = append(jobs, job{wi, di})
+		}
+	}
+	raw := make([]float64, len(jobs))
+	parallel(len(jobs), func(i int) {
+		j := jobs[i]
+		raw[i] = runW(cfgs[names[j.d]], wls[j.w], q).AggIPC
+	})
+	ipc := map[string][]float64{}
+	for i, j := range jobs {
+		name := names[j.d]
+		if ipc[name] == nil {
+			ipc[name] = make([]float64, len(wls))
+		}
+		ipc[name][j.w] = raw[i]
+	}
+	out := Figure7Result{Normalized: map[string][]float64{}, GMean: map[string]float64{}}
+	for _, w := range wls {
+		out.Workloads = append(out.Workloads, w.Name)
+	}
+	base := ipc["Mesh"]
+	for _, name := range names {
+		norm := stats.NormalizeTo(ipc[name], base)
+		out.Normalized[name] = norm
+		out.GMean[name] = stats.GeoMean(norm)
+	}
+	return out
+}
+
+// Table renders the result.
+func (r Figure7Result) Table() *Table {
+	return r.tableTitled("Figure 7: system performance normalized to mesh (128-bit links)")
+}
+
+func (r Figure7Result) tableTitled(title string) *Table {
+	t := &Table{Title: title, Header: []string{"workload"}}
+	names := sortedKeys(r.Normalized)
+	t.Header = append(t.Header, names...)
+	for i, w := range r.Workloads {
+		row := []string{w}
+		for _, n := range names {
+			row = append(row, f3(r.Normalized[n][i]))
+		}
+		t.AddRow(row...)
+	}
+	row := []string{"GMean"}
+	for _, n := range names {
+		row = append(row, f3(r.GMean[n]))
+	}
+	t.AddRow(row...)
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8: NoC area breakdown.
+// ---------------------------------------------------------------------------
+
+// Figure8Result holds the area breakdowns.
+type Figure8Result struct {
+	Designs    []string
+	Breakdowns []physic.Breakdown
+}
+
+// Figure8 regenerates Figure 8 from the area model (no simulation needed).
+func Figure8() Figure8Result {
+	return Figure8Result{
+		Designs: []string{"Mesh", "Flattened Butterfly", "NOC-Out"},
+		Breakdowns: []physic.Breakdown{
+			physic.MeshArea(64, 8, 128),
+			physic.FBflyArea(64, 8, 128),
+			physic.NOCOutTotalArea(core.DefaultConfig(), 128),
+		},
+	}
+}
+
+// Table renders the result.
+func (r Figure8Result) Table() *Table {
+	t := &Table{Title: "Figure 8: NoC area breakdown, mm² (paper: mesh ~3.5, fbfly ~23, NOC-Out ~2.5)",
+		Header: []string{"design", "links", "buffers", "crossbar", "total"}}
+	for i, d := range r.Designs {
+		b := r.Breakdowns[i]
+		t.AddRow(d, f2(b.Links), f2(b.Buffers), f2(b.Crossbar), f2(b.Total()))
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9: performance under a fixed NoC area budget (NOC-Out's area).
+// ---------------------------------------------------------------------------
+
+// Figure9Result extends the Figure 7 shape with the solved link widths.
+type Figure9Result struct {
+	Figure7Result
+	BudgetMM2  float64
+	MeshWidth  int
+	FBflyWidth int
+}
+
+// Figure9 regenerates Figure 9: mesh and fbfly links are narrowed until
+// their area matches NOC-Out's, then the suite is re-run.
+func Figure9(q Quality) Figure9Result {
+	budget := physic.NOCOutTotalArea(core.DefaultConfig(), 128).Total()
+	wm, _ := physic.SolveWidthForArea("mesh", budget)
+	wf, _ := physic.SolveWidthForArea("fbfly", budget)
+
+	mesh := DefaultConfig(Mesh)
+	mesh.LinkBits = wm
+	fb := DefaultConfig(FBfly)
+	fb.LinkBits = wf
+	no := DefaultConfig(NOCOut)
+
+	perf := figurePerf(q, map[string]Config{
+		"Mesh": mesh, "Flattened Butterfly": fb, "NOC-Out": no,
+	})
+	return Figure9Result{Figure7Result: perf, BudgetMM2: budget, MeshWidth: wm, FBflyWidth: wf}
+}
+
+// Table renders the result.
+func (r Figure9Result) Table() *Table {
+	t := r.tableTitled(fmt.Sprintf(
+		"Figure 9: performance normalized to mesh at a fixed %.1f mm² NoC budget (mesh %d-bit, fbfly %d-bit links)",
+		r.BudgetMM2, r.MeshWidth, r.FBflyWidth))
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// §6.4: NoC power.
+// ---------------------------------------------------------------------------
+
+// PowerResult holds average NoC power per design across the suite.
+type PowerResult struct {
+	Designs []string
+	Power   []physic.Power
+}
+
+// PowerStudy regenerates the §6.4 power analysis.
+func PowerStudy(q Quality) PowerResult {
+	designs := []Design{Mesh, FBfly, NOCOut}
+	wls := workload.All()
+	type job struct{ d, w int }
+	var jobs []job
+	for di := range designs {
+		for wi := range wls {
+			jobs = append(jobs, job{di, wi})
+		}
+	}
+	acc := make([]physic.Power, len(designs))
+	var mu sync.Mutex
+	parallel(len(jobs), func(i int) {
+		j := jobs[i]
+		r := runW(DefaultConfig(designs[j.d]), wls[j.w], q)
+		mu.Lock()
+		acc[j.d].LinkW += r.NoCPower.LinkW / float64(len(wls))
+		acc[j.d].RouterW += r.NoCPower.RouterW / float64(len(wls))
+		acc[j.d].LeakageW += r.NoCPower.LeakageW / float64(len(wls))
+		mu.Unlock()
+	})
+	out := PowerResult{}
+	for di, d := range designs {
+		out.Designs = append(out.Designs, d.String())
+		out.Power = append(out.Power, acc[di])
+	}
+	return out
+}
+
+// Table renders the result.
+func (r PowerResult) Table() *Table {
+	t := &Table{Title: "§6.4: average NoC power, W (paper: mesh 1.8, fbfly 1.6, NOC-Out 1.3)",
+		Header: []string{"design", "links", "routers", "leakage", "total"}}
+	for i, d := range r.Designs {
+		p := r.Power[i]
+		t.AddRow(d, f2(p.LinkW), f2(p.RouterW), f2(p.LeakageW), f2(p.Total()))
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// §4.3 ablation: LLC banking.
+// ---------------------------------------------------------------------------
+
+// BankingResult reports NOC-Out performance vs banks per LLC tile.
+type BankingResult struct {
+	BanksPerTile []int
+	CoresPerBank []int
+	Normalized   []float64 // to the most-banked configuration
+	Workload     string
+}
+
+// BankingAblation sweeps NOC-Out's internal LLC banking (§4.3: four cores
+// per bank performs within ~2% of one bank per core).
+func BankingAblation(q Quality) BankingResult {
+	banks := []int{1, 2, 4, 8}
+	w := workload.DataServing // the most bank-sensitive workload (§6.1)
+	perf := make([]float64, len(banks))
+	parallel(len(banks), func(i int) {
+		cfg := DefaultConfig(NOCOut)
+		cfg.BanksPerLLCTile = banks[i]
+		perf[i] = runW(cfg, w, q).AggIPC
+	})
+	out := BankingResult{Workload: w.Name}
+	base := perf[len(perf)-1]
+	for i, b := range banks {
+		out.BanksPerTile = append(out.BanksPerTile, b)
+		out.CoresPerBank = append(out.CoresPerBank, 64/(8*b))
+		out.Normalized = append(out.Normalized, perf[i]/base)
+	}
+	return out
+}
+
+// Table renders the result.
+func (r BankingResult) Table() *Table {
+	t := &Table{Title: fmt.Sprintf("§4.3: LLC banking ablation on %s (paper: 4 cores/bank within 2%% of 1:1)", r.Workload),
+		Header: []string{"banks/tile", "cores/bank", "perf vs most-banked"}}
+	for i := range r.BanksPerTile {
+		t.AddRow(fmt.Sprintf("%d", r.BanksPerTile[i]),
+			fmt.Sprintf("%d", r.CoresPerBank[i]), f3(r.Normalized[i]))
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// §7.1 ablation: scaling NOC-Out (concentration, express links).
+// ---------------------------------------------------------------------------
+
+// ScalingResult compares 128-core NOC-Out variants.
+type ScalingResult struct {
+	Variants   []string
+	PerCoreIPC []float64
+	Workload   string
+}
+
+// ScalingAblation regenerates the §7.1 discussion: a 128-core chip via
+// concentration, via taller columns, and via taller columns with express
+// links.
+func ScalingAblation(q Quality) ScalingResult {
+	w := workload.MapReduceC
+	type variant struct {
+		name string
+		org  NOCOutOrg
+	}
+	variants := []variant{
+		{"64-core baseline", core.DefaultConfig()},
+		{"128-core, concentration 2", NOCOutOrg{Columns: 8, RowsPerSide: 4, Concentration: 2}},
+		{"128-core, 8 rows/side", NOCOutOrg{Columns: 8, RowsPerSide: 8}},
+		{"128-core, 8 rows/side + express", NOCOutOrg{Columns: 8, RowsPerSide: 8, ExpressFrom: 4}},
+	}
+	perf := make([]float64, len(variants))
+	parallel(len(variants), func(i int) {
+		org := variants[i].org.WithDefaults()
+		cfg := DefaultConfig(NOCOut)
+		cfg.NOCOut = org
+		cfg.Cores = org.NumCores()
+		// A balanced future chip scales off-die bandwidth with cores
+		// (otherwise DRAM saturation masks the interconnect story).
+		cfg.MemChannels = 4 * cfg.Cores / 64
+		wl := w
+		wl.MaxCores = cfg.Cores // §7.1 assumes software that scales with the chip
+		perf[i] = runW(cfg, wl, q).PerCoreIPC
+	})
+	out := ScalingResult{Workload: w.Name}
+	for i, v := range variants {
+		out.Variants = append(out.Variants, v.name)
+		out.PerCoreIPC = append(out.PerCoreIPC, perf[i])
+	}
+	return out
+}
+
+// Table renders the result.
+func (r ScalingResult) Table() *Table {
+	t := &Table{Title: fmt.Sprintf("§7.1: NOC-Out scaling ablation on %s", r.Workload),
+		Header: []string{"variant", "per-core IPC"}}
+	for i := range r.Variants {
+		t.AddRow(r.Variants[i], f3(r.PerCoreIPC[i]))
+	}
+	return t
+}
+
+// Table1 returns the evaluation parameters (Table 1) as a table.
+func Table1() *Table {
+	cfg := DefaultConfig(NOCOut)
+	t := &Table{Title: "Table 1: evaluation parameters", Header: []string{"parameter", "value"}}
+	t.AddRow("Technology", "32nm, 0.9V, 2GHz")
+	t.AddRow("CMP features", fmt.Sprintf("%d cores, %dMB NUCA LLC, %d DDR3-1667 memory channels",
+		cfg.Cores, cfg.LLCMB, cfg.MemChannels))
+	t.AddRow("Core", "ARM Cortex-A15-like: 3-way OoO, 64-entry ROB, 16-entry LSQ")
+	t.AddRow("L1 caches", "32KB L1-I + 32KB L1-D per core, 64B lines")
+	t.AddRow("Mesh", "5 ports, 3 VCs/port, 5 flits/VC, 2-stage speculative pipeline, 1-cycle links")
+	t.AddRow("Flattened Butterfly", "15 ports, 3 VCs/port, 3-stage pipeline, links up to 2 tiles/cycle")
+	t.AddRow("NOC-Out", "reduction/dispersion trees: 2 ports, 2 VCs/port, 1 cycle/hop; LLC: 1-D flattened butterfly")
+	t.AddRow("Link width", fmt.Sprintf("%d bits", cfg.LinkBits))
+	return t
+}

@@ -1,0 +1,510 @@
+// Package chip assembles complete CMPs: cores with L1s, a distributed
+// LLC with directory, memory channels, and one of the four interconnect
+// organizations the paper evaluates (mesh, flattened butterfly, NOC-Out,
+// ideal). It also owns the measurement loop (warm-up + measurement window)
+// that stands in for the paper's SimFlex sampling.
+package chip
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"nocout/internal/coherence"
+	"nocout/internal/core"
+	"nocout/internal/cpu"
+	"nocout/internal/mem"
+	"nocout/internal/noc"
+	"nocout/internal/sim"
+	"nocout/internal/topo"
+	"nocout/internal/workload"
+)
+
+// Design selects the interconnect organization.
+type Design uint8
+
+// The evaluated system organizations (§5.1).
+const (
+	Mesh Design = iota
+	FBfly
+	NOCOut
+	Ideal
+)
+
+// String returns the design name as used in the paper's figures.
+func (d Design) String() string {
+	switch d {
+	case Mesh:
+		return "Mesh"
+	case FBfly:
+		return "Flattened Butterfly"
+	case NOCOut:
+		return "NOC-Out"
+	case Ideal:
+		return "Ideal"
+	}
+	return fmt.Sprintf("Design(%d)", uint8(d))
+}
+
+// Config describes a CMP instance.
+type Config struct {
+	Design      Design
+	Cores       int // total cores (power of two)
+	LLCMB       int // total LLC capacity (8 in Table 1)
+	LLCWays     int
+	LinkBits    int // NoC link width (128 in the fixed-budget study)
+	MemChannels int
+	BankLat     sim.Cycle // LLC bank access pipeline
+	Seed        uint64
+
+	// NOCOut overrides the NOC-Out organization (concentration, express
+	// links, LLC rows, banks per tile); zero value uses the paper baseline.
+	NOCOut core.Config
+	// BanksPerLLCTile sets NOC-Out's internal banking (2 in §5.1).
+	BanksPerLLCTile int
+}
+
+// DefaultConfig returns the Table 1 64-core system for a design.
+func DefaultConfig(d Design) Config {
+	return Config{
+		Design:          d,
+		Cores:           64,
+		LLCMB:           8,
+		LLCWays:         16,
+		LinkBits:        128,
+		MemChannels:     4,
+		BankLat:         4,
+		BanksPerLLCTile: 2,
+		Seed:            1,
+	}
+}
+
+// Chip is a fully assembled CMP bound to one workload.
+type Chip struct {
+	Cfg      Config
+	Workload workload.Params
+
+	Engine *sim.Engine
+	Net    noc.Network
+	Cores  []*cpu.Core
+	L1s    []*coherence.L1
+	Banks  []*coherence.Bank
+	MCs    []*mem.Controller
+
+	// Tiled-design state.
+	Plan topo.Floorplan
+	// NOC-Out state.
+	NocNet *core.Network
+
+	active int
+	pktID  uint64
+}
+
+// New builds a chip running workload w.
+func New(cfg Config, w workload.Params) *Chip {
+	if cfg.Cores < 1 {
+		panic("chip: need at least one core")
+	}
+	if cfg.LinkBits == 0 {
+		cfg.LinkBits = 128
+	}
+	if cfg.BanksPerLLCTile == 0 {
+		cfg.BanksPerLLCTile = 2
+	}
+	c := &Chip{Cfg: cfg, Workload: w, Engine: sim.NewEngine()}
+	switch cfg.Design {
+	case Mesh, FBfly, Ideal:
+		c.buildTiled()
+	case NOCOut:
+		c.buildNOCOut()
+	default:
+		panic("chip: unknown design")
+	}
+	c.buildCores()
+	c.register()
+	return c
+}
+
+// ActiveCores returns the number of enabled cores (the workload's
+// scalability limit may disable some).
+func (c *Chip) ActiveCores() int { return c.active }
+
+// --- tiled designs (mesh, fbfly, ideal) -----------------------------------
+
+func (c *Chip) buildTiled() {
+	cfg := c.Cfg
+	n := cfg.Cores
+	plan := topo.TiledFloorplan(n, float64(cfg.LLCMB))
+	c.Plan = plan
+	auxTiles := c.tiledMCNodes(plan)
+	switch cfg.Design {
+	case Mesh:
+		p := topo.DefaultMeshParams(plan)
+		p.AuxTiles = auxTiles
+		c.Net = topo.NewMesh(p)
+	case FBfly:
+		p := topo.DefaultFBflyParams(plan)
+		p.AuxTiles = auxTiles
+		c.Net = topo.NewFBfly(p)
+	case Ideal:
+		c.Net = topo.NewIdeal(plan, auxTiles...)
+	}
+
+	// One LLC bank (slice + directory) per tile.
+	bankBytes := cfg.LLCMB << 20 / n
+	ways := cfg.LLCWays
+	for bankBytes/64/ways < 1 || (bankBytes/64/ways)&(bankBytes/64/ways-1) != 0 {
+		ways /= 2 // tiny slices: shrink associativity to keep sets 2^k
+		if ways == 0 {
+			panic("chip: LLC slice too small")
+		}
+	}
+	bcfg := coherence.BankConfig{
+		SizeBytes: bankBytes, Ways: ways, AccessLat: cfg.BankLat,
+		LinkBits: cfg.LinkBits, NumCores: n, Interleave: n,
+	}
+	// Memory channels are auxiliary endpoints numbered after the tiles.
+	mcNodes := make([]noc.NodeID, cfg.MemChannels)
+	for ch := range mcNodes {
+		mcNodes[ch] = noc.NodeID(n + ch)
+	}
+	mcNode := func(line uint64) (noc.NodeID, int) {
+		ch := channelOf(line, cfg.MemChannels)
+		return mcNodes[ch], ch
+	}
+	l1Node := func(coreID int) noc.NodeID { return noc.NodeID(coreID) }
+	bankNode := func(bank int) noc.NodeID { return noc.NodeID(bank) }
+	for b := 0; b < n; b++ {
+		c.Banks = append(c.Banks, coherence.NewBank(b, noc.NodeID(b), c.Net, bcfg, &c.pktID, mcNode, l1Node))
+	}
+	for ch := 0; ch < cfg.MemChannels; ch++ {
+		mc := mem.NewController(ch, mcNodes[ch], c.Net, mem.DefaultConfig(), &c.pktID, bankNode)
+		c.MCs = append(c.MCs, mc)
+	}
+	c.buildL1s(n, l1Node, func(line uint64) (noc.NodeID, int) {
+		bank := int(line % uint64(n))
+		return noc.NodeID(bank), bank
+	})
+	c.installDispatchers(n + cfg.MemChannels)
+}
+
+// channelOf interleaves lines across memory channels with a folded hash so
+// that no address region (per-core local areas, instruction region) aliases
+// onto a single channel.
+func channelOf(line uint64, channels int) int {
+	h := line ^ line>>6 ^ line>>13 ^ line>>19 ^ line>>27
+	return int(h % uint64(channels))
+}
+
+// tiledMCNodes picks the memory-channel attach points: mid-height tiles on
+// the left and right die edges.
+func (c *Chip) tiledMCNodes(plan topo.Floorplan) []noc.NodeID {
+	nodes := make([]noc.NodeID, c.Cfg.MemChannels)
+	ys := []int{plan.Rows / 2, plan.Rows/2 - 1}
+	if ys[1] < 0 {
+		ys[1] = 0
+	}
+	xs := []int{0, plan.Cols - 1}
+	for ch := range nodes {
+		nodes[ch] = plan.Node(xs[ch%2], ys[(ch/2)%2])
+	}
+	return nodes
+}
+
+// --- NOC-Out ---------------------------------------------------------------
+
+func (c *Chip) buildNOCOut() {
+	cfg := c.Cfg
+	ncfg := cfg.NOCOut
+	if ncfg.Columns == 0 {
+		ncfg = core.DefaultConfig()
+	}
+	ncfg = ncfg.WithDefaults()
+	// Size the organization so core count matches.
+	if ncfg.NumCores() != cfg.Cores {
+		panic(fmt.Sprintf("chip: NOC-Out organization yields %d cores, config wants %d",
+			ncfg.NumCores(), cfg.Cores))
+	}
+	ncfg.MCCount = cfg.MemChannels
+	ncfg.BankPorts = cfg.BanksPerLLCTile
+	net := core.Build(ncfg)
+	c.Net = net
+	c.NocNet = net
+	ncfg = net.Cfg // with defaults filled
+
+	nBanks := ncfg.NumLLCTiles() * cfg.BanksPerLLCTile
+	bankBytes := cfg.LLCMB << 20 / nBanks
+	bcfg := coherence.BankConfig{
+		SizeBytes: bankBytes, Ways: cfg.LLCWays, AccessLat: cfg.BankLat,
+		LinkBits: cfg.LinkBits, NumCores: cfg.Cores, Interleave: nBanks,
+	}
+	bankTile := func(bank int) int { return bank / cfg.BanksPerLLCTile }
+	bankNodeOf := func(bank int) noc.NodeID {
+		t := bankTile(bank)
+		return ncfg.BankNode(t%ncfg.Columns, t/ncfg.Columns, bank%cfg.BanksPerLLCTile)
+	}
+	// Memory channels are dedicated-port endpoints on the LLC edge routers.
+	mcNodes := make([]noc.NodeID, cfg.MemChannels)
+	for ch := range mcNodes {
+		mcNodes[ch] = ncfg.MCNode(ch)
+	}
+	mcNode := func(line uint64) (noc.NodeID, int) {
+		ch := channelOf(line, cfg.MemChannels)
+		return mcNodes[ch], ch
+	}
+	coreNodeOf := func(coreID int) noc.NodeID {
+		return noc.NodeID(coreID / ncfg.Concentration)
+	}
+	for b := 0; b < nBanks; b++ {
+		c.Banks = append(c.Banks, coherence.NewBank(b, bankNodeOf(b), c.Net, bcfg, &c.pktID, mcNode, coreNodeOf))
+	}
+	for ch := 0; ch < cfg.MemChannels; ch++ {
+		mc := mem.NewController(ch, mcNodes[ch], c.Net, mem.DefaultConfig(), &c.pktID, bankNodeOf)
+		c.MCs = append(c.MCs, mc)
+	}
+	c.buildL1s(cfg.Cores, coreNodeOf, func(line uint64) (noc.NodeID, int) {
+		bank := int(line % uint64(nBanks))
+		return bankNodeOf(bank), bank
+	})
+	c.installDispatchers(ncfg.TotalNodes())
+}
+
+// --- shared assembly --------------------------------------------------------
+
+func (c *Chip) buildL1s(nCores int, l1Node func(int) noc.NodeID, home func(uint64) (noc.NodeID, int)) {
+	l1cfg := coherence.DefaultL1Config()
+	l1cfg.LinkBits = c.Cfg.LinkBits
+	for i := 0; i < nCores; i++ {
+		l1 := coherence.NewL1(i, l1Node(i), c.Net, l1cfg, &c.pktID, home, l1Node)
+		c.L1s = append(c.L1s, l1)
+	}
+}
+
+// installDispatchers wires every network node's delivery callback to the
+// protocol agents (several agents can share a node).
+func (c *Chip) installDispatchers(nNodes int) {
+	for node := 0; node < nNodes; node++ {
+		c.Net.SetDeliver(noc.NodeID(node), func(now sim.Cycle, p *noc.Packet) {
+			m := p.Payload.(coherence.Msg)
+			switch m.Dst {
+			case coherence.AgentL1:
+				c.L1s[m.DstID].Deliver(m)
+			case coherence.AgentDir:
+				c.Banks[m.DstID].Deliver(m)
+			case coherence.AgentMC:
+				c.MCs[m.DstID].Deliver(m)
+			}
+		})
+	}
+}
+
+// buildCores instantiates the cores, enabling only the workload's
+// scalable subset placed nearest the LLC (§5.3).
+func (c *Chip) buildCores() {
+	w := c.Workload
+	c.active = c.Cfg.Cores
+	if w.MaxCores > 0 && w.MaxCores < c.active {
+		c.active = w.MaxCores
+	}
+	enabled := c.preferredCoreOrder()
+	active := map[int]bool{}
+	for i := 0; i < c.active; i++ {
+		active[enabled[i]] = true
+	}
+	for i := 0; i < c.Cfg.Cores; i++ {
+		gen := workload.NewGenerator(w, i, c.Cfg.Seed)
+		cp := w.CoreParams(c.Cfg.Seed)
+		co := cpu.New(i, cp, c.L1s[i], gen)
+		co.SetEnabled(active[i])
+		c.Cores = append(c.Cores, co)
+	}
+}
+
+// preferredCoreOrder ranks cores by proximity to the LLC: central tiles for
+// tiled designs (§5.3), LLC-adjacent rows for NOC-Out.
+func (c *Chip) preferredCoreOrder() []int {
+	n := c.Cfg.Cores
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	switch c.Cfg.Design {
+	case Mesh, FBfly, Ideal:
+		cx := float64(c.Plan.Cols-1) / 2
+		cy := float64(c.Plan.Rows-1) / 2
+		sort.SliceStable(order, func(a, b int) bool {
+			ax, ay := c.Plan.Coord(noc.NodeID(order[a]))
+			bx, by := c.Plan.Coord(noc.NodeID(order[b]))
+			// Chebyshev distance selects square central blocks ("the 16
+			// tiles in the center of the die", §5.3).
+			da := math.Max(math.Abs(float64(ax)-cx), math.Abs(float64(ay)-cy))
+			db := math.Max(math.Abs(float64(bx)-cx), math.Abs(float64(by)-cy))
+			return da < db
+		})
+	case NOCOut:
+		ncfg := c.NocNet.Cfg
+		sort.SliceStable(order, func(a, b int) bool {
+			_, _, ra := ncfg.CoreLoc(noc.NodeID(order[a] / ncfg.Concentration))
+			_, _, rb := ncfg.CoreLoc(noc.NodeID(order[b] / ncfg.Concentration))
+			return ra < rb
+		})
+	}
+	return order
+}
+
+func (c *Chip) register() {
+	c.Engine.Register(c.Net)
+	for _, l1 := range c.L1s {
+		c.Engine.Register(sim.TickFunc(l1.Tick))
+	}
+	for _, b := range c.Banks {
+		c.Engine.Register(sim.TickFunc(b.Tick))
+	}
+	for _, mc := range c.MCs {
+		c.Engine.Register(sim.TickFunc(mc.Tick))
+	}
+	for _, co := range c.Cores {
+		c.Engine.Register(sim.TickFunc(co.Tick))
+	}
+}
+
+// --- measurement ------------------------------------------------------------
+
+// Warmup runs n cycles and clears all measurement counters, leaving caches,
+// predictors-of-sorts and queues warm (the SimFlex-style methodology).
+func (c *Chip) Warmup(n sim.Cycle) {
+	c.Engine.Step(n)
+	for _, co := range c.Cores {
+		co.ResetStats()
+	}
+	for _, b := range c.Banks {
+		b.Stats = coherence.DirStats{}
+	}
+	for _, l1 := range c.L1s {
+		l1.Stats = coherence.L1Stats{}
+	}
+	for _, mc := range c.MCs {
+		mc.Stats = mem.Stats{}
+	}
+	*c.Net.Stats() = noc.Stats{}
+}
+
+// Run advances the measurement window by n cycles.
+func (c *Chip) Run(n sim.Cycle) { c.Engine.Step(n) }
+
+// Metrics summarizes a finished measurement window.
+type Metrics struct {
+	Cycles      sim.Cycle
+	Instrs      int64
+	ActiveCores int
+
+	AggIPC     float64 // total committed instructions per cycle
+	PerCoreIPC float64 // AggIPC / active cores
+
+	Dir coherence.DirStats
+	Net noc.Stats
+
+	AvgNetLatency  float64 // all classes, cycles
+	AvgRespLatency float64
+	IfetchStallPct float64 // fraction of active-core cycles stalled on I-fetch
+	L1IMPKI        float64
+	L1DMPKI        float64
+}
+
+// NetRouters returns the underlying routers of the chip's network (empty
+// for the ideal fabric), for energy accounting.
+func (c *Chip) NetRouters() []*noc.Router {
+	switch n := c.Net.(type) {
+	case *noc.RouterNetwork:
+		return n.Routers
+	case *core.Network:
+		var out []*noc.Router
+		out = append(out, n.RedNodes...)
+		out = append(out, n.DispNodes...)
+		out = append(out, n.LLCRouters...)
+		return out
+	}
+	return nil
+}
+
+// Metrics gathers the chip's counters.
+func (c *Chip) Metrics() Metrics {
+	var m Metrics
+	m.ActiveCores = c.active
+	var cycles int64
+	var ifetchStall int64
+	var iMiss, dMiss int64
+	for _, co := range c.Cores {
+		if !co.Enabled() {
+			continue
+		}
+		m.Instrs += co.Stats.Instrs
+		if co.Stats.Cycles > cycles {
+			cycles = co.Stats.Cycles
+		}
+		ifetchStall += co.Stats.IfetchStall
+	}
+	for _, l1 := range c.L1s {
+		iMiss += l1.Stats.IfetchMisses
+		dMiss += l1.Stats.LoadMisses + l1.Stats.StoreMisses
+	}
+	m.Cycles = sim.Cycle(cycles)
+	if cycles > 0 {
+		m.AggIPC = float64(m.Instrs) / float64(cycles)
+		m.PerCoreIPC = m.AggIPC / float64(m.ActiveCores)
+		m.IfetchStallPct = float64(ifetchStall) / float64(cycles*int64(m.ActiveCores))
+	}
+	if m.Instrs > 0 {
+		m.L1IMPKI = float64(iMiss) / float64(m.Instrs) * 1000
+		m.L1DMPKI = float64(dMiss) / float64(m.Instrs) * 1000
+	}
+	for _, b := range c.Banks {
+		m.Dir.Add(b.Stats)
+	}
+	m.Net = *c.Net.Stats()
+	m.AvgNetLatency = m.Net.AvgLatencyAll()
+	m.AvgRespLatency = m.Net.AvgLatency(noc.ClassResp)
+	return m
+}
+
+// Measure is the standard experiment: functional cache warm-up, a timing
+// warm-up, then the measurement window.
+func Measure(cfg Config, w workload.Params, warmup, window sim.Cycle) Metrics {
+	ch := New(cfg, w)
+	ch.PrewarmCaches()
+	ch.Warmup(warmup)
+	ch.Run(window)
+	return ch.Metrics()
+}
+
+// PrewarmCaches functionally installs the workload's steady-state cache
+// contents before timing starts, reproducing the paper's methodology of
+// launching measurements "from checkpoints with warmed caches" (§5.4):
+// the shared instruction footprint and hot region become LLC-resident, and
+// each active core's local region is owned by its L1-D.
+func (c *Chip) PrewarmCaches() {
+	w := c.Workload
+	nBanks := len(c.Banks)
+	bankOf := func(line uint64) *coherence.Bank { return c.Banks[line%uint64(nBanks)] }
+
+	base, size := w.InstrRegion()
+	for a := base; a < base+size; a += 64 {
+		bankOf(a / 64).PrewarmShared(a / 64)
+	}
+	base, size = w.HotRegion()
+	for a := base; a < base+size; a += 64 {
+		bankOf(a / 64).PrewarmShared(a / 64)
+	}
+	for i, co := range c.Cores {
+		if !co.Enabled() {
+			continue
+		}
+		base, size = w.LocalRegion(i)
+		for a := base; a < base+size; a += 64 {
+			line := a / 64
+			if bankOf(line).PrewarmOwned(line, i) {
+				c.L1s[i].PrewarmData(line, coherence.StateM)
+			}
+		}
+	}
+}

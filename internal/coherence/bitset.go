@@ -1,0 +1,47 @@
+package coherence
+
+import "math/bits"
+
+// Bitset is a fixed-capacity sharer set (full-map directory vector).
+type Bitset struct {
+	w []uint64
+}
+
+// NewBitset returns a set able to hold ids in [0, n).
+func NewBitset(n int) Bitset { return Bitset{w: make([]uint64, (n+63)/64)} }
+
+// Set adds id.
+func (b Bitset) Set(id int) { b.w[id/64] |= 1 << (uint(id) % 64) }
+
+// Clear removes id.
+func (b Bitset) Clear(id int) { b.w[id/64] &^= 1 << (uint(id) % 64) }
+
+// Has reports membership.
+func (b Bitset) Has(id int) bool { return b.w[id/64]&(1<<(uint(id)%64)) != 0 }
+
+// Count returns the population count.
+func (b Bitset) Count() int {
+	n := 0
+	for _, w := range b.w {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Reset clears all members.
+func (b Bitset) Reset() {
+	for i := range b.w {
+		b.w[i] = 0
+	}
+}
+
+// ForEach calls fn for every member in ascending order.
+func (b Bitset) ForEach(fn func(id int)) {
+	for i, w := range b.w {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			fn(i*64 + bit)
+			w &^= 1 << uint(bit)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package coherence_test
+
+import (
+	"testing"
+
+	. "nocout/internal/coherence"
+
+	"nocout/internal/sim"
+)
+
+// TestProtocolInvariantsUnderRandomTraffic drives random reads/writes from
+// four cores over a small line space, periodically letting the protocol
+// settle, and checks directory/L1 agreement at each settle point.
+func TestProtocolInvariantsUnderRandomTraffic(t *testing.T) {
+	r := newRig(t, 4, 32<<10, 1<<20)
+	rng := sim.NewRNG(2024)
+
+	const lines = 32
+	const rounds = 60
+	for round := 0; round < rounds; round++ {
+		// Fire a small batch of random accesses without waiting.
+		for k := 0; k < 6; k++ {
+			core := rng.Intn(4)
+			line := uint64(rng.Intn(lines))
+			kind := Load
+			if rng.Bool(0.3) {
+				kind = Store
+			} else if rng.Bool(0.2) {
+				kind = Ifetch
+			}
+			r.l1s[core].Access(r.e.Now(), line, kind)
+		}
+		r.settle(t)
+
+		for line := uint64(0); line < lines; line++ {
+			owner := r.bank.OwnerOf(line)
+			sharers := r.bank.SharerCount(line)
+			if owner >= 0 && sharers > 0 {
+				t.Fatalf("round %d line %d: owner %d coexists with %d sharers", round, line, owner, sharers)
+			}
+			if owner >= 0 {
+				// The recorded owner must actually hold the line in M
+				// (settled state, no in-flight races).
+				if st, ok := r.l1s[owner].StateOf(line); !ok || st != StateM {
+					t.Fatalf("round %d line %d: directory says core %d owns it, L1 disagrees (st=%v ok=%v)",
+						round, line, owner, st, ok)
+				}
+				// Nobody else may hold it.
+				for c := 0; c < 4; c++ {
+					if c != owner && r.l1s[c].HasLine(line) {
+						t.Fatalf("round %d line %d: core %d holds a copy while core %d owns it", round, line, c, owner)
+					}
+				}
+			}
+		}
+	}
+	// The protocol processed a meaningful workload.
+	if r.bank.Stats.Accesses == 0 {
+		t.Fatal("no accesses processed")
+	}
+}
+
+// TestNoDuplicateExclusiveOwners runs heavier write-sharing traffic and
+// verifies single-writer semantics at every settle point.
+func TestNoDuplicateExclusiveOwners(t *testing.T) {
+	r := newRig(t, 3, 32<<10, 1<<20)
+	const hotLine = uint64(5)
+	for round := 0; round < 30; round++ {
+		for c := 0; c < 3; c++ {
+			r.l1s[c].Access(r.e.Now(), hotLine, Store)
+		}
+		r.settle(t)
+		holders := 0
+		for c := 0; c < 3; c++ {
+			if st, ok := r.l1s[c].StateOf(hotLine); ok && st == StateM {
+				holders++
+			}
+		}
+		if holders > 1 {
+			t.Fatalf("round %d: %d simultaneous M holders", round, holders)
+		}
+	}
+	if r.bank.Stats.SnoopMsgs == 0 {
+		t.Fatal("write sharing must produce snoops")
+	}
+}
+
+// TestMessageClassAssignment pins the deadlock-freedom class split (§4.1).
+func TestMessageClassAssignment(t *testing.T) {
+	reqs := []MsgType{GetS, GetX, MemRead}
+	snoops := []MsgType{FwdGetS, FwdGetX, Inv, Recall}
+	resps := []MsgType{Data, DataEx, AckEx, FwdData, CopyBack, FwdAck, InvAck, PutM, RecallAck, MemWrite, MemData}
+	for _, m := range reqs {
+		if m.Class() != 0 {
+			t.Errorf("%v should be a request", m)
+		}
+	}
+	for _, m := range snoops {
+		if m.Class() != 1 {
+			t.Errorf("%v should be a snoop", m)
+		}
+	}
+	for _, m := range resps {
+		if m.Class() != 2 {
+			t.Errorf("%v should be a response", m)
+		}
+	}
+}
+
+// TestDataCarryingTypes pins which messages serialize as multi-flit.
+func TestDataCarryingTypes(t *testing.T) {
+	carrying := map[MsgType]bool{
+		Data: true, DataEx: true, FwdData: true, CopyBack: true,
+		PutM: true, RecallAck: true, MemWrite: true, MemData: true,
+	}
+	for m := GetS; m <= MemData; m++ {
+		if m.CarriesData() != carrying[m] {
+			t.Errorf("%v CarriesData = %v", m, m.CarriesData())
+		}
+		want := 0
+		if carrying[m] {
+			want = 64
+		}
+		if (Msg{Type: m}).PacketBytes() != want {
+			t.Errorf("%v PacketBytes wrong", m)
+		}
+	}
+}
+
+func TestMsgTypeStrings(t *testing.T) {
+	if GetS.String() != "GetS" || MemData.String() != "MemData" || Recall.String() != "Recall" {
+		t.Fatal("message mnemonics wrong")
+	}
+}

@@ -1,0 +1,117 @@
+// Package coherence implements the chip's directory-based cache-coherence
+// protocol: per-core L1 controllers and per-bank LLC+directory controllers
+// exchanging the paper's three message classes (data requests, snoop
+// requests, responses) over any noc.Network.
+//
+// The protocol is MSI with a full bit-vector directory embedded in the LLC
+// (an LLC "slice is composed of data, tags, and directory", §4.3). The
+// directory serializes transactions per line. The simulator is timing-only:
+// tags, states and message flows are exact; data values are not carried.
+//
+// Race tolerance: writeback/forward races that full protocols resolve with
+// transient states are resolved here by making L1s respond to any snoop
+// regardless of local state, which preserves message counts and timing
+// while keeping the state machines small. Back-invalidations sent when the
+// LLC evicts a line with sharers are fire-and-forget.
+package coherence
+
+import (
+	"nocout/internal/noc"
+)
+
+// MsgType enumerates protocol messages.
+type MsgType uint8
+
+// Protocol message types.
+const (
+	// Requests (core -> directory, directory -> memory).
+	GetS    MsgType = iota // read (instruction fetch or load)
+	GetX                   // write / read-for-ownership
+	MemRead                // LLC miss fill request to a memory channel
+
+	// Snoops (directory -> core).
+	FwdGetS // owner must forward data to requester and downgrade to S
+	FwdGetX // owner must forward data to requester and invalidate
+	Inv     // sharer must invalidate and ack
+	Recall  // owner must write back and invalidate (LLC victim recall)
+
+	// Responses.
+	Data     // LLC data to requester (grants S)
+	DataEx   // LLC data to requester (grants M)
+	AckEx    // upgrade grant without data (requester already has S copy)
+	FwdData  // owner's data to requester
+	CopyBack // owner's data back to the directory after FwdGetS
+	FwdAck   // owner's ack to the directory after FwdGetX
+	InvAck   // sharer's ack after Inv
+	PutM     // dirty L1 writeback to the directory
+	RecallAck
+	MemWrite // dirty LLC victim to memory
+	MemData  // memory fill to the LLC
+)
+
+// String returns the message mnemonic.
+func (t MsgType) String() string {
+	names := [...]string{
+		"GetS", "GetX", "MemRead",
+		"FwdGetS", "FwdGetX", "Inv", "Recall",
+		"Data", "DataEx", "AckEx", "FwdData", "CopyBack", "FwdAck",
+		"InvAck", "PutM", "RecallAck", "MemWrite", "MemData",
+	}
+	if int(t) < len(names) {
+		return names[t]
+	}
+	return "Msg(?)"
+}
+
+// Class returns the virtual-channel class a message type travels in; the
+// request/snoop/response split guarantees protocol deadlock freedom (§4.1).
+func (t MsgType) Class() noc.Class {
+	switch t {
+	case GetS, GetX, MemRead:
+		return noc.ClassReq
+	case FwdGetS, FwdGetX, Inv, Recall:
+		return noc.ClassSnoop
+	default:
+		return noc.ClassResp
+	}
+}
+
+// CarriesData reports whether the message carries a full cache line (and
+// therefore serializes as a multi-flit packet).
+func (t MsgType) CarriesData() bool {
+	switch t {
+	case Data, DataEx, FwdData, CopyBack, PutM, RecallAck, MemWrite, MemData:
+		return true
+	}
+	return false
+}
+
+// Agent identifies the kind of protocol endpoint a message targets;
+// several agents can share one network node (e.g. a memory controller on an
+// LLC tile).
+type Agent uint8
+
+// Agent kinds.
+const (
+	AgentL1  Agent = iota // a core's L1 controller (DstID = core id)
+	AgentDir              // an LLC bank directory (DstID = bank id)
+	AgentMC               // a memory channel (DstID = channel id)
+)
+
+// Msg is the protocol payload carried by network packets.
+type Msg struct {
+	Type  MsgType
+	Addr  uint64 // line address
+	Dst   Agent
+	DstID int
+	SrcID int // sender's agent id (core/bank/channel, by context)
+	Req   int // original requesting core (forwards and fills)
+}
+
+// PacketBytes returns the payload bytes the message occupies on a link.
+func (m Msg) PacketBytes() int {
+	if m.Type.CarriesData() {
+		return 64
+	}
+	return 0
+}

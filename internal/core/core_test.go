@@ -1,0 +1,301 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nocout/internal/noc"
+	"nocout/internal/sim"
+)
+
+func TestConfigDefaults(t *testing.T) {
+	c := DefaultConfig()
+	if c.NumCores() != 64 {
+		t.Fatalf("default cores = %d, want 64", c.NumCores())
+	}
+	if c.NumLLCTiles() != 8 {
+		t.Fatalf("LLC tiles = %d, want 8", c.NumLLCTiles())
+	}
+	if c.NumNodes() != 72 {
+		t.Fatalf("nodes = %d, want 72", c.NumNodes())
+	}
+}
+
+func TestNodeNumberingRoundTrip(t *testing.T) {
+	c := DefaultConfig()
+	seen := map[noc.NodeID]bool{}
+	for col := 0; col < c.Columns; col++ {
+		for side := 0; side < 2; side++ {
+			for row := 0; row < c.RowsPerSide; row++ {
+				n := c.CoreNode(col, side, row)
+				if seen[n] {
+					t.Fatalf("duplicate core node %d", n)
+				}
+				seen[n] = true
+				c2, s2, r2 := c.CoreLoc(n)
+				if c2 != col || s2 != side || r2 != row {
+					t.Fatalf("CoreLoc(CoreNode(%d,%d,%d)) = (%d,%d,%d)", col, side, row, c2, s2, r2)
+				}
+				if c.IsLLCNode(n) {
+					t.Fatalf("core node %d classified as LLC", n)
+				}
+			}
+		}
+	}
+	for col := 0; col < c.Columns; col++ {
+		n := c.LLCNode(col, 0)
+		if seen[n] {
+			t.Fatalf("LLC node %d collides with a core node", n)
+		}
+		if !c.IsLLCNode(n) {
+			t.Fatalf("LLC node %d not classified as LLC", n)
+		}
+		c2, r2 := c.LLCLoc(n)
+		if c2 != col || r2 != 0 {
+			t.Fatalf("LLCLoc round trip failed for col %d", col)
+		}
+	}
+}
+
+func TestNodeNumberingProperty(t *testing.T) {
+	cfg := Config{Columns: 4, RowsPerSide: 2, LLCRows: 2}.WithDefaults()
+	err := quick.Check(func(a, b, c uint8) bool {
+		col := int(a) % cfg.Columns
+		side := int(b) % 2
+		row := int(c) % cfg.RowsPerSide
+		c2, s2, r2 := cfg.CoreLoc(cfg.CoreNode(col, side, row))
+		return c2 == col && s2 == side && r2 == row
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// roundTrip sends one packet and returns it after delivery.
+func roundTrip(t *testing.T, n *Network, src, dst noc.NodeID, class noc.Class, size int) *noc.Packet {
+	t.Helper()
+	e := sim.NewEngine()
+	e.Register(n)
+	var got *noc.Packet
+	n.SetDeliver(dst, func(now sim.Cycle, p *noc.Packet) { got = p })
+	p := &noc.Packet{ID: 1, Class: class, Src: src, Dst: dst, Size: size}
+	n.Send(e.Now(), p)
+	if !e.RunUntil(func() bool { return got != nil }, 10000) {
+		t.Fatalf("packet %d -> %d never delivered", src, dst)
+	}
+	return got
+}
+
+func TestCoreToOwnColumnLLCLatency(t *testing.T) {
+	cfg := DefaultConfig()
+	n := Build(cfg)
+	// Adjacent core (row 0): inject 1 + NI wire 1 + red node (hop 1) +
+	// LLC router (pipe 3 + eject 1) = 7.
+	p := roundTrip(t, n, cfg.CoreNode(0, 0, 0), cfg.LLCNode(0, 0), noc.ClassReq, 1)
+	if p.Latency() != 7 {
+		t.Fatalf("adjacent core->LLC latency = %d, want 7", p.Latency())
+	}
+	if p.Hops() != 2 { // reduction node + LLC router
+		t.Fatalf("hops = %d, want 2", p.Hops())
+	}
+	// Farthest core (row 3): three more tree hops.
+	n2 := Build(cfg)
+	p2 := roundTrip(t, n2, cfg.CoreNode(0, 0, 3), cfg.LLCNode(0, 0), noc.ClassReq, 1)
+	if p2.Latency() != 10 {
+		t.Fatalf("far core->LLC latency = %d, want 10", p2.Latency())
+	}
+}
+
+func TestCoreToRemoteLLCCrossesButterfly(t *testing.T) {
+	cfg := DefaultConfig()
+	n := Build(cfg)
+	p := roundTrip(t, n, cfg.CoreNode(0, 0, 0), cfg.LLCNode(7, 0), noc.ClassReq, 1)
+	// One extra LLC router + a 7-tile link (4 cycles at 2 tiles/cycle).
+	if p.Hops() != 3 {
+		t.Fatalf("hops = %d, want 3 (red node, column 0 LLC router, column 7 LLC router)", p.Hops())
+	}
+	local := roundTrip(t, Build(cfg), cfg.CoreNode(0, 0, 0), cfg.LLCNode(0, 0), noc.ClassReq, 1)
+	if p.Latency() <= local.Latency() {
+		t.Fatal("remote bank access must be slower than local")
+	}
+}
+
+func TestLLCToCoreDispersion(t *testing.T) {
+	cfg := DefaultConfig()
+	n := Build(cfg)
+	// Response from LLC tile 3 to a bottom-side core in column 5, row 2.
+	dst := cfg.CoreNode(5, 1, 2)
+	p := roundTrip(t, n, cfg.LLCNode(3, 0), dst, noc.ClassResp, 5)
+	// Path: LLC router 3 -> LLC router 5 -> 3 dispersion nodes.
+	if p.Hops() != 5 {
+		t.Fatalf("hops = %d, want 5", p.Hops())
+	}
+}
+
+func TestSnoopDelivery(t *testing.T) {
+	cfg := DefaultConfig()
+	n := Build(cfg)
+	p := roundTrip(t, n, cfg.LLCNode(0, 0), cfg.CoreNode(0, 0, 3), noc.ClassSnoop, 1)
+	if p.Latency() <= 0 {
+		t.Fatal("snoop not delivered")
+	}
+}
+
+func TestCoreToCoreFlowsThroughLLCRegion(t *testing.T) {
+	// §4.4: no direct core-to-core links; L1-to-L1 forwards traverse the
+	// LLC region (reduction tree -> LLC router(s) -> dispersion tree).
+	cfg := DefaultConfig()
+	n := Build(cfg)
+	src := cfg.CoreNode(2, 0, 1)
+	dst := cfg.CoreNode(2, 0, 2) // same column, one row apart
+	p := roundTrip(t, n, src, dst, noc.ClassResp, 5)
+	// Even for adjacent cores the path is: 2 reduction hops down, the LLC
+	// router, and 3 dispersion hops back up = 6 router traversals.
+	if p.Hops() != 6 {
+		t.Fatalf("hops = %d, want 6 (must descend to the LLC region)", p.Hops())
+	}
+}
+
+func TestAllCoresReachAllBanks(t *testing.T) {
+	cfg := DefaultConfig()
+	n := Build(cfg)
+	e := sim.NewEngine()
+	e.Register(n)
+	delivered := 0
+	for i := 0; i < cfg.NumLLCTiles(); i++ {
+		n.SetDeliver(cfg.LLCNode(i%cfg.Columns, i/cfg.Columns), func(now sim.Cycle, p *noc.Packet) { delivered++ })
+	}
+	sent := 0
+	for cn := 0; cn < cfg.NumCoreNodes(); cn++ {
+		for tl := 0; tl < cfg.NumLLCTiles(); tl++ {
+			n.Send(e.Now(), &noc.Packet{
+				ID: uint64(sent), Class: noc.ClassReq,
+				Src: noc.NodeID(cn), Dst: cfg.LLCNode(tl%cfg.Columns, tl/cfg.Columns), Size: 1,
+			})
+			sent++
+		}
+	}
+	if !e.RunUntil(func() bool { return delivered == sent }, 200000) {
+		t.Fatalf("delivered %d/%d", delivered, sent)
+	}
+}
+
+func TestAllBanksReachAllCores(t *testing.T) {
+	cfg := DefaultConfig()
+	n := Build(cfg)
+	e := sim.NewEngine()
+	e.Register(n)
+	delivered := 0
+	for cn := 0; cn < cfg.NumCoreNodes(); cn++ {
+		n.SetDeliver(noc.NodeID(cn), func(now sim.Cycle, p *noc.Packet) { delivered++ })
+	}
+	sent := 0
+	for tl := 0; tl < cfg.NumLLCTiles(); tl++ {
+		for cn := 0; cn < cfg.NumCoreNodes(); cn++ {
+			n.Send(e.Now(), &noc.Packet{
+				ID: uint64(sent), Class: noc.ClassResp,
+				Src: cfg.LLCNode(tl%cfg.Columns, tl/cfg.Columns), Dst: noc.NodeID(cn), Size: 5,
+			})
+			sent++
+		}
+	}
+	if !e.RunUntil(func() bool { return delivered == sent }, 500000) {
+		t.Fatalf("delivered %d/%d", delivered, sent)
+	}
+}
+
+func TestExpressLinksReduceFarCoreLatency(t *testing.T) {
+	base := Config{Columns: 4, RowsPerSide: 8}
+	slow := Build(base)
+	cfgFast := base
+	cfgFast.ExpressFrom = 4
+	fast := Build(cfgFast)
+	src := slow.Cfg.CoreNode(1, 0, 7) // farthest row
+	dst := slow.Cfg.LLCNode(1, 0)
+	ps := roundTrip(t, slow, src, dst, noc.ClassReq, 1)
+	pf := roundTrip(t, fast, src, dst, noc.ClassReq, 1)
+	if pf.Latency() >= ps.Latency() {
+		t.Fatalf("express link should cut far-core latency: express=%d chain=%d", pf.Latency(), ps.Latency())
+	}
+	// Near rows are unaffected.
+	near := roundTrip(t, Build(cfgFast), slow.Cfg.CoreNode(1, 0, 0), dst, noc.ClassReq, 1)
+	if near.Latency() != 7 {
+		t.Fatalf("near-core latency changed under express links: %d", near.Latency())
+	}
+}
+
+func TestConcentrationScalesCores(t *testing.T) {
+	cfg := Config{Columns: 8, RowsPerSide: 4, Concentration: 2}
+	c := cfg.WithDefaults()
+	if c.NumCores() != 128 {
+		t.Fatalf("128-core concentrated config reports %d cores", c.NumCores())
+	}
+	if c.NumCoreNodes() != 64 {
+		t.Fatalf("concentration must not add network endpoints: %d", c.NumCoreNodes())
+	}
+	// The network still builds and delivers.
+	n := Build(cfg)
+	p := roundTrip(t, n, c.CoreNode(0, 0, 0), c.LLCNode(0, 0), noc.ClassReq, 1)
+	if p.Latency() <= 0 {
+		t.Fatal("concentrated network failed to deliver")
+	}
+}
+
+func TestTwoLLCRowsBuildAndRoute(t *testing.T) {
+	cfg := Config{Columns: 4, RowsPerSide: 2, LLCRows: 2}
+	n := Build(cfg)
+	c := n.Cfg
+	// Top core to bottom-attached LLC row.
+	p := roundTrip(t, n, c.CoreNode(0, 0, 0), c.LLCNode(0, 1), noc.ClassReq, 1)
+	if p.Hops() < 3 {
+		t.Fatalf("cross-LLC-row access should traverse both LLC routers; hops=%d", p.Hops())
+	}
+	// Response from top LLC row to a bottom core crosses rows too.
+	p2 := roundTrip(t, Build(cfg), c.LLCNode(2, 0), c.CoreNode(2, 1, 1), noc.ClassResp, 5)
+	if p2.Latency() <= 0 {
+		t.Fatal("no delivery across LLC rows")
+	}
+}
+
+func TestReductionTreePrioritizesNetworkOverLocal(t *testing.T) {
+	// Saturate a column from the far core and the near core; the near
+	// core's node must let network traffic (from the far core) through
+	// first under the static priority, mitigating the distance penalty.
+	cfg := DefaultConfig()
+	n := Build(cfg)
+	e := sim.NewEngine()
+	e.Register(n)
+	far := cfg.CoreNode(0, 0, 3)
+	near := cfg.CoreNode(0, 0, 0)
+	dst := cfg.LLCNode(0, 0)
+	var farDone, nearDone int
+	n.SetDeliver(dst, func(now sim.Cycle, p *noc.Packet) {
+		if p.Src == far {
+			farDone++
+		} else {
+			nearDone++
+		}
+	})
+	const k = 50
+	for i := 0; i < k; i++ {
+		n.Send(e.Now(), &noc.Packet{ID: uint64(i), Class: noc.ClassReq, Src: far, Dst: dst, Size: 1})
+		n.Send(e.Now(), &noc.Packet{ID: uint64(1000 + i), Class: noc.ClassReq, Src: near, Dst: dst, Size: 1})
+	}
+	e.RunUntil(func() bool { return farDone == k && nearDone == k }, 50000)
+	if farDone != k || nearDone != k {
+		t.Fatalf("far=%d near=%d, want %d each", farDone, nearDone, k)
+	}
+}
+
+func TestWireDelaySymmetricPositive(t *testing.T) {
+	cfg := DefaultConfig()
+	n := Build(cfg)
+	a := cfg.CoreNode(0, 0, 3)
+	b := cfg.LLCNode(7, 0)
+	if n.WireDelay(a, b) != n.WireDelay(b, a) {
+		t.Fatal("wire delay must be symmetric")
+	}
+	if n.WireDelay(a, b) < 1 {
+		t.Fatal("wire delay must be at least one cycle")
+	}
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nocout/internal/noc"
+	"nocout/internal/sim"
+)
+
+func TestTreeInventoryMatchesPaper(t *testing.T) {
+	n := Build(DefaultConfig())
+	// 8 columns x 2 sides x 4 rows: 64 reduction nodes and 64 dispersion
+	// nodes; 8 LLC routers.
+	if len(n.RedNodes) != 64 || len(n.DispNodes) != 64 {
+		t.Fatalf("tree nodes = %d red, %d disp; want 64 each", len(n.RedNodes), len(n.DispNodes))
+	}
+	if len(n.LLCRouters) != 8 {
+		t.Fatalf("LLC routers = %d, want 8", len(n.LLCRouters))
+	}
+	for _, r := range n.RedNodes {
+		if r.NumIn() != 2 || r.NumOut() != 1 {
+			t.Fatalf("reduction node %s has %d in / %d out; §4.1 says 2-input mux", r.Name, r.NumIn(), r.NumOut())
+		}
+		if r.VCCount() != 2 {
+			t.Fatalf("reduction node VCs = %d, want 2 (Table 1)", r.VCCount())
+		}
+	}
+	for _, r := range n.DispNodes {
+		if r.NumIn() != 1 {
+			t.Fatalf("dispersion node %s has %d inputs; §4.2 says demux", r.Name, r.NumIn())
+		}
+		if r.NumOut() > 2 {
+			t.Fatalf("dispersion node %s has %d outputs", r.Name, r.NumOut())
+		}
+		if r.VCCount() != 2 {
+			t.Fatalf("dispersion node VCs = %d, want 2", r.VCCount())
+		}
+	}
+	for _, r := range n.LLCRouters {
+		// 7 row ports + local + 2 reduction tree-ins = 10 inputs;
+		// 7 row + local + 2 dispersion tree-outs = 10 outputs.
+		if r.NumIn() != 10 || r.NumOut() != 10 {
+			t.Fatalf("LLC router %s: %d in / %d out, want 10/10", r.Name, r.NumIn(), r.NumOut())
+		}
+	}
+}
+
+func TestMCEndpointsDedicatedPorts(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MCCount = 4
+	n := Build(cfg)
+	c := n.Cfg
+	// The MC ports add one input and one output to each hosting edge
+	// router (2 MCs per edge router here).
+	for i, r := range n.LLCRouters {
+		col := i % c.Columns
+		wantExtra := 0
+		for k := 0; k < 4; k++ {
+			mcol, _ := c.MCAttach(k)
+			if mcol == col {
+				wantExtra++
+			}
+		}
+		if got := r.NumIn() - 10; got != wantExtra {
+			t.Fatalf("router col %d: %d MC input ports, want %d", col, got, wantExtra)
+		}
+	}
+	// Traffic to and from MCs flows.
+	e := sim.NewEngine()
+	e.Register(n)
+	var got *noc.Packet
+	n.SetDeliver(c.MCNode(3), func(now sim.Cycle, p *noc.Packet) { got = p })
+	n.Send(e.Now(), &noc.Packet{ID: 1, Class: noc.ClassReq, Src: c.LLCNode(4, 0), Dst: c.MCNode(3), Size: 1})
+	if !e.RunUntil(func() bool { return got != nil }, 1000) {
+		t.Fatal("bank -> MC packet never delivered")
+	}
+	var back *noc.Packet
+	n.SetDeliver(c.LLCNode(4, 0), func(now sim.Cycle, p *noc.Packet) { back = p })
+	n.Send(e.Now(), &noc.Packet{ID: 2, Class: noc.ClassResp, Src: c.MCNode(3), Dst: c.LLCNode(4, 0), Size: 5})
+	if !e.RunUntil(func() bool { return back != nil }, 1000) {
+		t.Fatal("MC -> bank packet never delivered")
+	}
+}
+
+func TestMCAccessorsValidate(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MCCount = 2
+	if cfg.MCNode(0) != noc.NodeID(cfg.NumNodes()) {
+		t.Fatal("MC nodes must be numbered after cores and LLC tiles")
+	}
+	col0, _ := cfg.MCAttach(0)
+	col1, _ := cfg.MCAttach(1)
+	if col0 != 0 || col1 != cfg.Columns-1 {
+		t.Fatalf("MCs should alternate die edges: %d, %d", col0, col1)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	cfg.MCNode(2)
+}
+
+func TestExpressConfigDeliversAllPairs(t *testing.T) {
+	cfg := Config{Columns: 4, RowsPerSide: 8, ExpressFrom: 4}
+	n := Build(cfg)
+	c := n.Cfg
+	e := sim.NewEngine()
+	e.Register(n)
+	delivered := 0
+	for i := 0; i < c.NumCoreNodes(); i++ {
+		n.SetDeliver(noc.NodeID(i), func(now sim.Cycle, p *noc.Packet) { delivered++ })
+	}
+	sent := 0
+	// Every bank responds to every core, exercising express dispersion.
+	for tile := 0; tile < c.NumLLCTiles(); tile++ {
+		for cn := 0; cn < c.NumCoreNodes(); cn++ {
+			n.Send(e.Now(), &noc.Packet{
+				ID: uint64(sent), Class: noc.ClassResp,
+				Src: c.LLCNode(tile%c.Columns, tile/c.Columns), Dst: noc.NodeID(cn), Size: 5,
+			})
+			sent++
+		}
+	}
+	if !e.RunUntil(func() bool { return delivered == sent }, 500000) {
+		t.Fatalf("delivered %d/%d under express links", delivered, sent)
+	}
+}
+
+func TestRandomPairsDeliverProperty(t *testing.T) {
+	cfg := Config{Columns: 4, RowsPerSide: 2, LLCRows: 2}
+	n := Build(cfg)
+	c := n.Cfg
+	e := sim.NewEngine()
+	e.Register(n)
+	inbox := map[noc.NodeID]int{}
+	for i := 0; i < c.NumNodes(); i++ {
+		id := noc.NodeID(i)
+		n.SetDeliver(id, func(now sim.Cycle, p *noc.Packet) { inbox[p.Dst]++ })
+	}
+	sent := 0
+	check := func(srcRaw, dstRaw uint8) bool {
+		// Cores talk to LLC tiles and vice versa (the bilateral pattern);
+		// core-to-core also legal (forwards).
+		src := noc.NodeID(int(srcRaw) % c.NumNodes())
+		dst := noc.NodeID(int(dstRaw) % c.NumNodes())
+		if src == dst {
+			return true
+		}
+		// LLC->LLC requests only travel between tiles.
+		class := noc.ClassReq
+		if c.IsLLCNode(src) {
+			class = noc.ClassResp
+		}
+		n.Send(e.Now(), &noc.Packet{ID: uint64(sent), Class: class, Src: src, Dst: dst, Size: 1})
+		sent++
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	if !e.RunUntil(func() bool {
+		total = 0
+		for _, v := range inbox {
+			total += v
+		}
+		return total == sent
+	}, 200000) {
+		t.Fatalf("delivered %d/%d random packets", total, sent)
+	}
+}
+
+func TestGeometryHelpers(t *testing.T) {
+	if CoreTileMM() <= 0 {
+		t.Fatal("core tile must have positive size")
+	}
+	if LLCTileHeightMM(1) <= 0 {
+		t.Fatal("LLC tile must have positive height")
+	}
+	// 1MB of LLC at 3.2mm²/MB over a ~1.7mm-wide tile is ~1.9mm tall.
+	h := LLCTileHeightMM(1)
+	if h < 1.5 || h > 2.5 {
+		t.Fatalf("LLC tile height = %v mm, expected ~1.9", h)
+	}
+}

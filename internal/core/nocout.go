@@ -1,0 +1,234 @@
+// Package core implements the paper's primary contribution: the NOC-Out
+// processor organization (§4). Cores and LLC tiles are segregated — LLC
+// tiles sit in a central row of the die, cores fill the regions above and
+// below — and connectivity is specialized for the bilateral core-to-cache
+// traffic pattern:
+//
+//   - a reduction tree per half-column carries core requests down/up to the
+//     column's LLC tile through buffered 2-input muxes (§4.1),
+//   - a dispersion tree per half-column carries responses and snoops back
+//     out through buffered demuxes (§4.2),
+//   - the LLC tiles are linked by a richly connected flattened butterfly
+//     (1-D for a single LLC row, 2-D when scaled) forming a NUCA cache
+//     (§4.3),
+//   - there are no core-to-core links at all; every message flows through
+//     the LLC region (§4.4).
+//
+// The package also implements the scalability features of §7.1:
+// concentration (multiple cores per tree port) and express links that let
+// distant tree nodes bypass intermediate hops.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"nocout/internal/noc"
+	"nocout/internal/sim"
+	"nocout/internal/tech"
+)
+
+// Config describes a NOC-Out chip organization.
+type Config struct {
+	Columns     int // LLC tiles / columns of cores (8 in the paper)
+	RowsPerSide int // core rows above and below the LLC row (4 in the paper)
+
+	// Concentration is the number of cores sharing each tree port (§7.1);
+	// 1 in the baseline. Core count = Columns * 2 * RowsPerSide * Concentration.
+	Concentration int
+
+	// LLCRows stacks the LLC region vertically (§7.1 "flattened butterfly
+	// in LLC"); 1 in the baseline. LLC tiles = Columns * LLCRows.
+	LLCRows int
+
+	// ExpressFrom, when > 0, wires tree nodes at depth >= ExpressFrom
+	// directly to the LLC router instead of chaining through intermediate
+	// nodes (§7.1 express links). 0 disables express links.
+	ExpressFrom int
+
+	// MCCount attaches that many memory-controller endpoints through
+	// dedicated ports on the LLC row's edge routers (§4.4: "off-die
+	// interfaces ... accessed through dedicated ports in the edge routers
+	// of the LLC network"). MC k gets NodeID NumNodes()+k.
+	MCCount int
+
+	// BankPorts gives each LLC tile that many bank endpoints with
+	// dedicated router ports (§5.1: "LLC tiles are internally banked to
+	// maximize throughput"). 0 means banks share the tile's local port.
+	BankPorts int
+
+	TreeBufFlits  int       // per-VC buffering in tree nodes (default 4)
+	LLCBufFlits   int       // per-VC buffering in LLC routers (default 8)
+	LLCPipe       sim.Cycle // LLC router pipeline depth (default 3)
+	TreeHop       sim.Cycle // tree per-hop latency including link (default 1)
+	TilesPerCycle int       // LLC fbfly link reach (default 2)
+	EjectBuf      int       // NI eject buffering (default 8)
+}
+
+// DefaultConfig returns the paper's 64-core configuration (Table 1):
+// 8 columns, 4 core rows per side, one LLC row of 8 tiles.
+func DefaultConfig() Config {
+	return Config{
+		Columns:       8,
+		RowsPerSide:   4,
+		Concentration: 1,
+		LLCRows:       1,
+		TreeBufFlits:  3,
+		LLCBufFlits:   5,
+		LLCPipe:       3,
+		TreeHop:       1,
+		TilesPerCycle: 2,
+		EjectBuf:      8,
+	}
+}
+
+// WithDefaults returns the configuration with zero fields replaced by the
+// paper-baseline values.
+func (c Config) WithDefaults() Config {
+	d := DefaultConfig()
+	if c.Columns == 0 {
+		c.Columns = d.Columns
+	}
+	if c.RowsPerSide == 0 {
+		c.RowsPerSide = d.RowsPerSide
+	}
+	if c.Concentration == 0 {
+		c.Concentration = 1
+	}
+	if c.LLCRows == 0 {
+		c.LLCRows = 1
+	}
+	if c.TreeBufFlits == 0 {
+		c.TreeBufFlits = d.TreeBufFlits
+	}
+	if c.LLCBufFlits == 0 {
+		c.LLCBufFlits = d.LLCBufFlits
+	}
+	if c.LLCPipe == 0 {
+		c.LLCPipe = d.LLCPipe
+	}
+	if c.TreeHop == 0 {
+		c.TreeHop = d.TreeHop
+	}
+	if c.TilesPerCycle == 0 {
+		c.TilesPerCycle = d.TilesPerCycle
+	}
+	if c.EjectBuf == 0 {
+		c.EjectBuf = d.EjectBuf
+	}
+	return c
+}
+
+// NumCoreNodes returns the number of core-side network endpoints. With
+// concentration, several cores share one endpoint.
+func (c Config) NumCoreNodes() int { return c.Columns * 2 * c.RowsPerSide }
+
+// NumCores returns the total core count.
+func (c Config) NumCores() int { return c.NumCoreNodes() * c.Concentration }
+
+// NumLLCTiles returns the number of LLC tiles.
+func (c Config) NumLLCTiles() int { return c.Columns * c.LLCRows }
+
+// CoreNode returns the NodeID for the core endpoint at (col, side, row).
+// side 0 is above the LLC row, side 1 below; row 0 is adjacent to the LLC.
+func (c Config) CoreNode(col, side, row int) noc.NodeID {
+	if col < 0 || col >= c.Columns || side < 0 || side > 1 || row < 0 || row >= c.RowsPerSide {
+		panic(fmt.Sprintf("core: invalid core position (%d,%d,%d)", col, side, row))
+	}
+	return noc.NodeID((col*2+side)*c.RowsPerSide + row)
+}
+
+// CoreLoc is the inverse of CoreNode.
+func (c Config) CoreLoc(n noc.NodeID) (col, side, row int) {
+	i := int(n)
+	if i < 0 || i >= c.NumCoreNodes() {
+		panic(fmt.Sprintf("core: node %d is not a core endpoint", n))
+	}
+	row = i % c.RowsPerSide
+	cs := i / c.RowsPerSide
+	return cs / 2, cs % 2, row
+}
+
+// LLCNode returns the NodeID of the LLC tile at (col, llcRow).
+func (c Config) LLCNode(col, llcRow int) noc.NodeID {
+	if col < 0 || col >= c.Columns || llcRow < 0 || llcRow >= c.LLCRows {
+		panic(fmt.Sprintf("core: invalid LLC position (%d,%d)", col, llcRow))
+	}
+	return noc.NodeID(c.NumCoreNodes() + llcRow*c.Columns + col)
+}
+
+// LLCLoc is the inverse of LLCNode.
+func (c Config) LLCLoc(n noc.NodeID) (col, llcRow int) {
+	i := int(n) - c.NumCoreNodes()
+	if i < 0 || i >= c.NumLLCTiles() {
+		panic(fmt.Sprintf("core: node %d is not an LLC tile", n))
+	}
+	return i % c.Columns, i / c.Columns
+}
+
+// IsLLCNode reports whether n addresses an LLC tile.
+func (c Config) IsLLCNode(n noc.NodeID) bool {
+	return int(n) >= c.NumCoreNodes() && int(n) < c.NumCoreNodes()+c.NumLLCTiles()
+}
+
+// NumNodes returns the count of core endpoints + LLC tiles (memory
+// controllers are numbered after these).
+func (c Config) NumNodes() int { return c.NumCoreNodes() + c.NumLLCTiles() }
+
+// MCNode returns the NodeID of memory controller k.
+func (c Config) MCNode(k int) noc.NodeID {
+	if k < 0 || k >= c.MCCount {
+		panic(fmt.Sprintf("core: invalid MC index %d", k))
+	}
+	return noc.NodeID(c.NumNodes() + k)
+}
+
+// MCAttach returns the LLC tile hosting memory controller k: alternating
+// die edges, cycling through LLC rows.
+func (c Config) MCAttach(k int) (col, llcRow int) {
+	col = 0
+	if k%2 == 1 {
+		col = c.Columns - 1
+	}
+	return col, (k / 2) % c.LLCRows
+}
+
+// TotalNodes includes the memory-controller and bank endpoints.
+func (c Config) TotalNodes() int {
+	return c.NumNodes() + c.MCCount + c.NumLLCTiles()*c.BankPorts
+}
+
+// BankNode returns the NodeID of bank port k on LLC tile (col, llcRow).
+func (c Config) BankNode(col, llcRow, k int) noc.NodeID {
+	if k < 0 || k >= c.BankPorts {
+		panic(fmt.Sprintf("core: invalid bank port %d (BankPorts=%d)", k, c.BankPorts))
+	}
+	tile := llcRow*c.Columns + col
+	return noc.NodeID(c.NumNodes() + c.MCCount + tile*c.BankPorts + k)
+}
+
+// bankLoc decodes a bank endpoint node into (tileIdx, port).
+func (c Config) bankLoc(n noc.NodeID) (tile, port int) {
+	i := int(n) - c.NumNodes() - c.MCCount
+	return i / c.BankPorts, i % c.BankPorts
+}
+
+// IsBankNode reports whether n addresses a bank endpoint.
+func (c Config) IsBankNode(n noc.NodeID) bool {
+	return int(n) >= c.NumNodes()+c.MCCount && int(n) < c.TotalNodes()
+}
+
+// Geometry ------------------------------------------------------------------
+
+// CoreTileMM returns the side of a (square) core tile.
+func CoreTileMM() float64 { return math.Sqrt(tech.CoreMM2) }
+
+// LLCTileHeightMM returns the height of an LLC tile holding llcMB of cache,
+// with its width matched to the core tile (§5.1: "the aspect ratio of the
+// LLC tiles roughly matches that of the core tiles").
+func LLCTileHeightMM(llcMBPerTile float64) float64 {
+	return llcMBPerTile * tech.CacheMM2PerMB / CoreTileMM()
+}
+
+// treeHopLenMM is the physical span of one tree hop: one core tile.
+func treeHopLenMM() float64 { return CoreTileMM() }

@@ -1,0 +1,315 @@
+// Package cpu models the chip's cores: ARM Cortex-A15-like 3-way
+// out-of-order parts (Table 1: 64-entry ROB, 16-entry LSQ) as interval
+// cores. The model captures exactly the behaviour the paper's study turns
+// on — how much LLC latency a core can hide:
+//
+//   - instruction-fetch misses stall fetch until the line returns (the
+//     paper's key observation: "L1-I misses stall the processor"),
+//   - load misses overlap up to the MSHR/ROB limits unless a dependent
+//     consumer serializes them (per-workload DepChance models pointer
+//     chasing and limits MLP),
+//   - stores retire through a write buffer and never block commit unless
+//     the miss file back-pressures,
+//   - commit proceeds in order at up to Width per cycle, derated by the
+//     workload's base CPI (its intrinsic ILP).
+package cpu
+
+import (
+	"fmt"
+
+	"nocout/internal/cache"
+	"nocout/internal/coherence"
+	"nocout/internal/sim"
+)
+
+// InstrKind classifies instructions by memory behaviour.
+type InstrKind uint8
+
+// Instruction kinds.
+const (
+	KindALU InstrKind = iota
+	KindLoad
+	KindStore
+)
+
+// Instr is one dynamic instruction from a workload stream.
+type Instr struct {
+	Kind  InstrKind
+	IAddr uint64 // instruction byte address
+	DAddr uint64 // data byte address (loads/stores)
+}
+
+// Stream produces a core's dynamic instruction trace.
+type Stream interface {
+	Next() Instr
+}
+
+// Params configures a core's pipeline.
+type Params struct {
+	Width     int     // fetch/commit width (3)
+	ROB       int     // reorder-buffer entries (64)
+	BaseCPI   float64 // cycles per instruction absent memory stalls (>= 1/Width)
+	DepChance float64 // probability a load miss serializes the instruction window
+	Seed      uint64
+}
+
+// DefaultParams returns the Table 1 core configuration.
+func DefaultParams() Params {
+	return Params{Width: 3, ROB: 64, BaseCPI: 0.6, DepChance: 0.3}
+}
+
+// Stats aggregates a core's activity and stall breakdown.
+type Stats struct {
+	Instrs       int64
+	Cycles       int64
+	IfetchStall  int64 // cycles with fetch blocked on an L1-I miss fill
+	DataStall    int64 // cycles with commit blocked on a load miss
+	SerialStall  int64 // cycles with fetch blocked by a serializing load
+	BackPressure int64 // cycles stalled on a full MSHR file
+	LoadsIssued  int64
+	StoresIssued int64
+	IfetchMisses int64
+	PeakOutstand int64 // max concurrent load misses observed (MLP witness)
+}
+
+// IPC returns committed instructions per cycle over the counted window.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instrs) / float64(s.Cycles)
+}
+
+// robEntry is one in-flight instruction.
+type robEntry struct {
+	mem     bool
+	line    uint64
+	waiting bool // load miss outstanding
+}
+
+// L1Port is the slice of the L1 controller the core drives; satisfied by
+// *coherence.L1 and by test fakes.
+type L1Port interface {
+	Access(now sim.Cycle, line uint64, kind coherence.AccessKind) coherence.Outcome
+	SetFillListener(fn func(now sim.Cycle, line uint64, instr, write bool))
+}
+
+// Core is one interval-model core bound to an L1 controller.
+type Core struct {
+	ID     int
+	params Params
+
+	l1     L1Port
+	stream Stream
+	rng    *sim.RNG
+
+	rob      []robEntry
+	head     int
+	count    int
+	credit   float64
+	fetchPC  uint64 // current fetch line (byte-address line id)
+	haveLine bool
+
+	fetchStall  bool
+	fetchLine   uint64 // line being waited on (L1-I miss)
+	serialize   bool
+	serialLine  uint64
+	retryInstr  *Instr // instruction blocked on MSHR back-pressure
+	outstanding int64  // load misses in flight
+
+	enabled bool
+
+	Stats Stats
+}
+
+// New builds a core over its L1 and workload stream. The core registers
+// itself as the L1's fill listener.
+func New(id int, p Params, l1 L1Port, stream Stream) *Core {
+	if p.Width < 1 || p.ROB < p.Width || p.BaseCPI < 1.0/float64(p.Width) {
+		panic(fmt.Sprintf("cpu: invalid core parameters %+v", p))
+	}
+	c := &Core{
+		ID:      id,
+		params:  p,
+		l1:      l1,
+		stream:  stream,
+		rng:     sim.NewRNG(p.Seed ^ (uint64(id)+1)*0x9E3779B97F4A7C15),
+		rob:     make([]robEntry, p.ROB),
+		enabled: true,
+	}
+	l1.SetFillListener(c.onFill)
+	return c
+}
+
+// SetEnabled turns the core on or off (disabled cores model the unused
+// tiles in 16-core workload runs).
+func (c *Core) SetEnabled(on bool) { c.enabled = on }
+
+// Enabled reports whether the core executes instructions.
+func (c *Core) Enabled() bool { return c.enabled }
+
+// ResetStats zeroes the measurement counters (end of warm-up).
+func (c *Core) ResetStats() { c.Stats = Stats{} }
+
+// onFill is the L1 fill callback.
+func (c *Core) onFill(now sim.Cycle, line uint64, instr, write bool) {
+	if instr {
+		if c.fetchStall && line == c.fetchLine {
+			c.fetchStall = false
+		}
+		return
+	}
+	// Store fills matter too: a load may have merged into the store's
+	// outstanding miss, so matching window entries must wake regardless.
+	if c.serialize && line == c.serialLine {
+		c.serialize = false
+	}
+	for i := 0; i < c.count; i++ {
+		e := &c.rob[(c.head+i)%len(c.rob)]
+		if e.mem && e.waiting && e.line == line {
+			e.waiting = false
+		}
+	}
+	if c.outstanding > 0 {
+		c.outstanding--
+	}
+}
+
+// Tick advances the core one cycle: commit then fetch/dispatch.
+func (c *Core) Tick(now sim.Cycle) {
+	if !c.enabled {
+		return
+	}
+	c.Stats.Cycles++
+	committed := c.commit()
+	c.fetch(now)
+	if committed == 0 {
+		c.accountStall()
+	}
+}
+
+// commit retires ready instructions in order, derated by BaseCPI.
+func (c *Core) commit() int {
+	c.credit += 1.0 / c.params.BaseCPI
+	max := float64(c.params.Width)
+	if c.credit > max {
+		c.credit = max
+	}
+	n := 0
+	for c.credit >= 1 && c.count > 0 {
+		e := &c.rob[c.head]
+		if e.mem && e.waiting {
+			break
+		}
+		c.head = (c.head + 1) % len(c.rob)
+		c.count--
+		c.credit--
+		c.Stats.Instrs++
+		n++
+	}
+	return n
+}
+
+// fetch brings up to Width new instructions into the window, issuing their
+// memory accesses immediately (out-of-order issue at dispatch).
+func (c *Core) fetch(now sim.Cycle) {
+	if c.fetchStall || c.serialize {
+		return
+	}
+	for w := 0; w < c.params.Width; w++ {
+		if c.count >= len(c.rob) {
+			return
+		}
+		var in Instr
+		if c.retryInstr != nil {
+			in = *c.retryInstr
+			c.retryInstr = nil
+		} else {
+			in = c.stream.Next()
+		}
+		// Instruction-side access on line changes.
+		iline := cache.LineAddr(in.IAddr)
+		if !c.haveLine || iline != c.fetchPC {
+			switch c.l1.Access(now, iline, coherence.Ifetch) {
+			case coherence.Hit:
+				c.fetchPC = iline
+				c.haveLine = true
+			case coherence.Miss, coherence.MissMerged:
+				c.Stats.IfetchMisses++
+				c.fetchStall = true
+				c.fetchLine = iline
+				c.fetchPC = iline
+				c.haveLine = true
+				c.retryInstr = &in // re-dispatch this instruction after the fill
+				return
+			case coherence.Blocked:
+				c.Stats.BackPressure++
+				c.retryInstr = &in
+				return
+			}
+		}
+		if !c.dispatch(now, in) {
+			return
+		}
+	}
+}
+
+// dispatch issues one instruction into the ROB; false means the pipeline
+// must retry it next cycle (MSHR back-pressure).
+func (c *Core) dispatch(now sim.Cycle, in Instr) bool {
+	e := robEntry{}
+	switch in.Kind {
+	case KindLoad:
+		line := cache.LineAddr(in.DAddr)
+		switch c.l1.Access(now, line, coherence.Load) {
+		case coherence.Hit:
+			e = robEntry{mem: true, line: line, waiting: false}
+		case coherence.Miss, coherence.MissMerged:
+			e = robEntry{mem: true, line: line, waiting: true}
+			c.outstanding++
+			if c.outstanding > c.Stats.PeakOutstand {
+				c.Stats.PeakOutstand = c.outstanding
+			}
+			if c.rng.Bool(c.params.DepChance) {
+				c.serialize = true
+				c.serialLine = line
+			}
+		case coherence.Blocked:
+			c.Stats.BackPressure++
+			c.retryInstr = &in
+			return false
+		}
+		c.Stats.LoadsIssued++
+	case KindStore:
+		line := cache.LineAddr(in.DAddr)
+		switch c.l1.Access(now, line, coherence.Store) {
+		case coherence.Blocked:
+			c.Stats.BackPressure++
+			c.retryInstr = &in
+			return false
+		}
+		// Stores retire via the write buffer: never block commit.
+		e = robEntry{mem: false}
+		c.Stats.StoresIssued++
+	default:
+		e = robEntry{mem: false}
+	}
+	c.rob[(c.head+c.count)%len(c.rob)] = e
+	c.count++
+	if c.serialize {
+		return false // pointer chase: stop dispatching behind the blocker
+	}
+	return true
+}
+
+// accountStall attributes a zero-commit cycle to its cause.
+func (c *Core) accountStall() {
+	switch {
+	case c.fetchStall:
+		c.Stats.IfetchStall++
+	case c.count > 0 && c.rob[c.head].mem && c.rob[c.head].waiting:
+		c.Stats.DataStall++
+	case c.serialize:
+		c.Stats.SerialStall++
+	}
+}

@@ -1,0 +1,100 @@
+package cpu
+
+import (
+	"testing"
+
+	"nocout/internal/coherence"
+	"nocout/internal/sim"
+)
+
+func TestROBFullStopsFetch(t *testing.T) {
+	// Head load never fills: the window fills to ROB capacity and fetch
+	// stops issuing L1 accesses.
+	l1 := &fakeL1{}
+	l1.outcome = func(line uint64, kind coherence.AccessKind) coherence.Outcome {
+		if kind == coherence.Load {
+			return coherence.Miss
+		}
+		return coherence.Hit
+	}
+	p := DefaultParams()
+	p.DepChance = 0
+	p.ROB = 8
+	prog := &fixedStream{prog: []Instr{
+		{Kind: KindLoad, IAddr: 0x1000, DAddr: 0x100000},
+	}}
+	c := New(0, p, l1, prog)
+	for cyc := sim.Cycle(1); cyc <= 100; cyc++ {
+		c.Tick(cyc)
+	}
+	if c.Stats.LoadsIssued > int64(p.ROB) {
+		t.Fatalf("issued %d loads into an %d-entry window", c.Stats.LoadsIssued, p.ROB)
+	}
+}
+
+func TestCommitCreditCapsAtWidth(t *testing.T) {
+	// After a long stall, commit may not burst beyond Width per cycle.
+	l1 := &fakeL1{}
+	blocked := true
+	l1.outcome = func(line uint64, kind coherence.AccessKind) coherence.Outcome {
+		if kind == coherence.Load && blocked {
+			return coherence.Miss
+		}
+		return coherence.Hit
+	}
+	p := DefaultParams()
+	p.DepChance = 0
+	p.BaseCPI = 1.0 / 3.0
+	prog := &fixedStream{prog: []Instr{
+		{Kind: KindLoad, IAddr: 0x1000, DAddr: 0x200000},
+		{Kind: KindALU, IAddr: 0x1000},
+		{Kind: KindALU, IAddr: 0x1000},
+		{Kind: KindALU, IAddr: 0x1000},
+	}}
+	c := New(0, p, l1, prog)
+	for cyc := sim.Cycle(1); cyc <= 50; cyc++ {
+		c.Tick(cyc)
+	}
+	if c.Stats.Instrs != 0 {
+		t.Fatal("nothing should commit while the head load is outstanding")
+	}
+	// Release the miss.
+	blocked = false
+	l1.fill(51, 0x200000/64, false, false)
+	before := c.Stats.Instrs
+	c.Tick(51)
+	burst := c.Stats.Instrs - before
+	if burst > int64(p.Width) {
+		t.Fatalf("committed %d in one cycle, width is %d", burst, p.Width)
+	}
+}
+
+func TestStatsIPCZeroCycles(t *testing.T) {
+	var s Stats
+	if s.IPC() != 0 {
+		t.Fatal("IPC with zero cycles must be 0")
+	}
+}
+
+func TestSerializingLoadBlocksDispatchSameCycle(t *testing.T) {
+	// With DepChance=1, the serializing load must be the last dispatch of
+	// its cycle (pointer chase: nothing useful behind it).
+	l1 := &fakeL1{}
+	l1.outcome = func(line uint64, kind coherence.AccessKind) coherence.Outcome {
+		if kind == coherence.Load {
+			return coherence.Miss
+		}
+		return coherence.Hit
+	}
+	p := DefaultParams()
+	p.DepChance = 1
+	prog := &fixedStream{prog: []Instr{
+		{Kind: KindLoad, IAddr: 0x1000, DAddr: 0},
+		{Kind: KindALU, IAddr: 0x1000},
+	}}
+	c := New(0, p, l1, prog)
+	c.Tick(1)
+	if c.Stats.LoadsIssued != 1 {
+		t.Fatalf("first cycle issued %d loads, want exactly 1", c.Stats.LoadsIssued)
+	}
+}

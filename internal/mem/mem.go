@@ -1,0 +1,147 @@
+// Package mem models the off-die memory system: four DDR3-1667 channels
+// (Table 1) reached through dedicated ports on edge routers. Each channel
+// has a fixed device access latency plus a bandwidth-limited service queue,
+// which is all the on-chip study needs from DRAM: a long, mostly constant
+// latency and a line-rate ceiling.
+package mem
+
+import (
+	"fmt"
+
+	"nocout/internal/coherence"
+	"nocout/internal/noc"
+	"nocout/internal/sim"
+)
+
+// Config describes one memory channel's timing.
+type Config struct {
+	// AccessLat is the device latency from service start to data (cycles).
+	// ~45 ns at 2 GHz for DDR3-1667.
+	AccessLat sim.Cycle
+	// LinePeriod is the minimum spacing between line transfers on the
+	// channel (cycles): 64B at 12.8 GB/s and 2 GHz is 10 cycles.
+	LinePeriod sim.Cycle
+	LinkBits   int
+}
+
+// DefaultConfig returns DDR3-1667 timing at the 2 GHz core clock.
+func DefaultConfig() Config {
+	return Config{AccessLat: 90, LinePeriod: 10, LinkBits: 128}
+}
+
+// Stats counts channel activity.
+type Stats struct {
+	Reads, Writes int64
+	BusyCycles    int64 // cycles of occupied line slots (utilization)
+	QueueSum      int64 // queue length integral for mean queue depth
+	Samples       int64
+}
+
+// Utilization returns the fraction of sampled cycles the channel was busy.
+func (s *Stats) Utilization() float64 {
+	if s.Samples == 0 {
+		return 0
+	}
+	return float64(s.BusyCycles) / float64(s.Samples)
+}
+
+// Controller is one memory channel. It receives MemRead/MemWrite messages
+// and answers reads with MemData after queueing + device latency.
+type Controller struct {
+	Channel int
+	Node    noc.NodeID
+
+	cfg      Config
+	net      noc.Network
+	pktID    *uint64
+	bankNode func(bank int) noc.NodeID
+
+	inbox    sim.Queue[coherence.Msg]
+	q        sim.Queue[coherence.Msg]
+	nextFree sim.Cycle
+	inFlight *sim.Pipe[coherence.Msg]
+
+	Stats Stats
+}
+
+// NewController builds a channel controller attached at node; bankNode maps
+// a requesting LLC bank id to its network node for replies.
+func NewController(channel int, node noc.NodeID, net noc.Network, cfg Config, pktID *uint64,
+	bankNode func(bank int) noc.NodeID) *Controller {
+	if cfg.AccessLat < 1 || cfg.LinePeriod < 1 {
+		panic("mem: invalid channel timing")
+	}
+	return &Controller{
+		Channel:  channel,
+		Node:     node,
+		cfg:      cfg,
+		net:      net,
+		pktID:    pktID,
+		bankNode: bankNode,
+		inFlight: sim.NewPipe[coherence.Msg](fmt.Sprintf("mc%d", channel), cfg.AccessLat),
+	}
+}
+
+// Deliver is the network delivery callback.
+func (c *Controller) Deliver(m coherence.Msg) { c.inbox.Push(m) }
+
+// PendingWork reports whether the channel still has queued or in-flight
+// requests.
+func (c *Controller) PendingWork() bool {
+	return c.inbox.Len() > 0 || c.q.Len() > 0 || c.inFlight.Len() > 0
+}
+
+// Tick advances the channel one cycle.
+func (c *Controller) Tick(now sim.Cycle) {
+	for {
+		m, ok := c.inbox.Pop()
+		if !ok {
+			break
+		}
+		switch m.Type {
+		case coherence.MemRead:
+			c.Stats.Reads++
+			c.q.Push(m)
+		case coherence.MemWrite:
+			// Writes consume channel bandwidth but need no reply.
+			c.Stats.Writes++
+			c.q.Push(m)
+		default:
+			panic(fmt.Sprintf("mem: channel %d received unexpected %v", c.Channel, m.Type))
+		}
+	}
+	// Start at most one line transfer per LinePeriod.
+	if now >= c.nextFree {
+		if m, ok := c.q.Pop(); ok {
+			c.nextFree = now + c.cfg.LinePeriod
+			if m.Type == coherence.MemRead {
+				c.inFlight.Push(now, m)
+			}
+		}
+	}
+	if now < c.nextFree {
+		c.Stats.BusyCycles++
+	}
+	c.Stats.QueueSum += int64(c.q.Len())
+	c.Stats.Samples++
+	// Complete reads whose device latency elapsed.
+	for {
+		m, ok := c.inFlight.Pop(now)
+		if !ok {
+			break
+		}
+		*c.pktID++
+		reply := coherence.Msg{
+			Type: coherence.MemData, Addr: m.Addr,
+			Dst: coherence.AgentDir, DstID: m.SrcID, SrcID: c.Channel,
+		}
+		c.net.Send(now, &noc.Packet{
+			ID:      *c.pktID,
+			Class:   reply.Type.Class(),
+			Src:     c.Node,
+			Dst:     c.bankNode(m.SrcID),
+			Size:    noc.FlitsFor(reply.PacketBytes(), c.cfg.LinkBits),
+			Payload: reply,
+		})
+	}
+}

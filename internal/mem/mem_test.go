@@ -1,0 +1,150 @@
+package mem
+
+import (
+	"testing"
+
+	"nocout/internal/coherence"
+	"nocout/internal/noc"
+	"nocout/internal/sim"
+	"nocout/internal/topo"
+)
+
+// harness wires one controller to an ideal 2-node network: node 0 is the
+// "bank", node 1 the channel.
+type harness struct {
+	e     *sim.Engine
+	mc    *Controller
+	net   noc.Network
+	got   []coherence.Msg
+	pktID uint64
+}
+
+func newHarness(t *testing.T, cfg Config) *harness {
+	t.Helper()
+	h := &harness{e: sim.NewEngine()}
+	h.net = topo.NewIdealWithDelay(2, func(a, b noc.NodeID) sim.Cycle { return 2 })
+	h.mc = NewController(0, 1, h.net, cfg, &h.pktID, func(bank int) noc.NodeID { return 0 })
+	h.net.SetDeliver(0, func(now sim.Cycle, p *noc.Packet) {
+		h.got = append(h.got, p.Payload.(coherence.Msg))
+	})
+	h.net.SetDeliver(1, func(now sim.Cycle, p *noc.Packet) {
+		h.mc.Deliver(p.Payload.(coherence.Msg))
+	})
+	h.e.Register(h.net, sim.TickFunc(h.mc.Tick))
+	return h
+}
+
+func (h *harness) read(line uint64) {
+	h.mc.Deliver(coherence.Msg{Type: coherence.MemRead, Addr: line, SrcID: 0})
+}
+
+func TestReadCompletesAfterDeviceLatency(t *testing.T) {
+	cfg := Config{AccessLat: 50, LinePeriod: 10, LinkBits: 128}
+	h := newHarness(t, cfg)
+	h.read(7)
+	start := h.e.Now()
+	if !h.e.RunUntil(func() bool { return len(h.got) == 1 }, 500) {
+		t.Fatal("read never completed")
+	}
+	elapsed := int64(h.e.Now() - start)
+	if elapsed < int64(cfg.AccessLat) {
+		t.Fatalf("read completed in %d cycles, device latency is %d", elapsed, cfg.AccessLat)
+	}
+	m := h.got[0]
+	if m.Type != coherence.MemData || m.Addr != 7 || m.DstID != 0 {
+		t.Fatalf("reply = %+v", m)
+	}
+}
+
+func TestBandwidthSpacing(t *testing.T) {
+	cfg := Config{AccessLat: 20, LinePeriod: 10, LinkBits: 128}
+	h := newHarness(t, cfg)
+	const n = 10
+	for i := uint64(0); i < n; i++ {
+		h.read(i)
+	}
+	start := h.e.Now()
+	if !h.e.RunUntil(func() bool { return len(h.got) == n }, 1000) {
+		t.Fatalf("only %d/%d completed", len(h.got), n)
+	}
+	elapsed := int64(h.e.Now() - start)
+	min := int64(cfg.AccessLat) + (n-1)*int64(cfg.LinePeriod)
+	if elapsed < min {
+		t.Fatalf("%d reads in %d cycles beats the line-period floor %d", n, elapsed, min)
+	}
+	if h.mc.Stats.Reads != n {
+		t.Fatalf("read count = %d", h.mc.Stats.Reads)
+	}
+}
+
+func TestWritesConsumeBandwidthWithoutReply(t *testing.T) {
+	cfg := DefaultConfig()
+	h := newHarness(t, cfg)
+	h.mc.Deliver(coherence.Msg{Type: coherence.MemWrite, Addr: 3, SrcID: 0})
+	h.read(4)
+	if !h.e.RunUntil(func() bool { return len(h.got) == 1 }, 1000) {
+		t.Fatal("read blocked behind write never completed")
+	}
+	if h.mc.Stats.Writes != 1 {
+		t.Fatalf("writes = %d", h.mc.Stats.Writes)
+	}
+	// The write occupied a line slot before the read: the read's total
+	// time must include that slot.
+	if got := h.got[0]; got.Type != coherence.MemData {
+		t.Fatalf("unexpected %v", got.Type)
+	}
+}
+
+func TestUtilizationAccounting(t *testing.T) {
+	cfg := Config{AccessLat: 10, LinePeriod: 10, LinkBits: 128}
+	h := newHarness(t, cfg)
+	for i := uint64(0); i < 20; i++ {
+		h.read(i)
+	}
+	h.e.RunUntil(func() bool { return len(h.got) == 20 }, 2000)
+	u := h.mc.Stats.Utilization()
+	if u <= 0.5 {
+		t.Fatalf("saturated channel reports utilization %.2f", u)
+	}
+	// Idle afterwards: utilization decays.
+	h.e.Step(1000)
+	if h.mc.Stats.Utilization() >= u {
+		t.Fatal("idle cycles must dilute utilization")
+	}
+}
+
+func TestPendingWork(t *testing.T) {
+	h := newHarness(t, DefaultConfig())
+	if h.mc.PendingWork() {
+		t.Fatal("fresh channel should be idle")
+	}
+	h.read(1)
+	if !h.mc.PendingWork() {
+		t.Fatal("queued read should count as pending")
+	}
+	h.e.RunUntil(func() bool { return len(h.got) == 1 }, 1000)
+	if h.mc.PendingWork() {
+		t.Fatal("drained channel should be idle")
+	}
+}
+
+func TestUnexpectedMessagePanics(t *testing.T) {
+	h := newHarness(t, DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	h.mc.Deliver(coherence.Msg{Type: coherence.GetS, Addr: 1})
+	h.e.Step(1)
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var pktID uint64
+	NewController(0, 0, nil, Config{AccessLat: 0, LinePeriod: 0}, &pktID, nil)
+}

@@ -1,0 +1,210 @@
+package noc
+
+import (
+	"fmt"
+
+	"nocout/internal/sim"
+)
+
+// NI is a network interface: the boundary between a protocol agent (core,
+// LLC bank, memory controller) and the network. It serializes packets into
+// flits on the inject side (one flit per cycle through the local port,
+// credit-gated) and reassembles flits into packets on the eject side.
+type NI struct {
+	Node NodeID
+
+	injectQ [NumClasses]sim.Queue[*Packet]
+	nextSeq [NumClasses]int
+	out     OutPort // local port into the router's local input
+
+	eject       *sim.Pipe[Flit]
+	ejectCredit *sim.Pipe[Credit]
+
+	deliver func(now sim.Cycle, p *Packet)
+	stats   *Stats
+	rr      int
+}
+
+// NewNI returns an unconnected network interface for node n.
+func NewNI(n NodeID, stats *Stats) *NI {
+	return &NI{Node: n, stats: stats}
+}
+
+// SetDeliver registers the packet delivery callback.
+func (ni *NI) SetDeliver(fn func(now sim.Cycle, p *Packet)) { ni.deliver = fn }
+
+// ConnectNI wires an NI to its router: the NI's inject side feeds router
+// input port in (injDelay cycles of wire), and router output port out feeds
+// the NI's eject side (router pipeline + ejDelay cycles). ejectBuf is the
+// eject-side buffering per VC the router sees as credits.
+func ConnectNI(ni *NI, r *Router, in, out int, injDelay, ejDelay sim.Cycle, ejectBuf int) {
+	ConnectNIInject(ni, r, in, injDelay)
+	ConnectNIEject(ni, r, out, ejDelay, ejectBuf)
+}
+
+// ConnectNIInject wires only the NI's inject side into router input port in.
+func ConnectNIInject(ni *NI, r *Router, in int, injDelay sim.Cycle) {
+	inj := sim.NewPipe[Flit](fmt.Sprintf("ni%d->%s", ni.Node, r.Name), injDelay)
+	injCr := sim.NewPipe[Credit](fmt.Sprintf("%s->ni%d.credit", r.Name, ni.Node), 1)
+	ip := r.ins[in]
+	ip.in = inj
+	ip.creditOut = injCr
+	ni.out.link = inj
+	ni.out.creditIn = injCr
+	for c := range ni.out.credits {
+		ni.out.credits[c] = ip.cap
+	}
+}
+
+// ConnectNIEject wires only the NI's eject side to router output port out.
+func ConnectNIEject(ni *NI, r *Router, out int, ejDelay sim.Cycle, ejectBuf int) {
+	if ejectBuf < 1 {
+		ejectBuf = 1
+	}
+	ej := sim.NewPipe[Flit](fmt.Sprintf("%s->ni%d", r.Name, ni.Node), r.PipeDelay+ejDelay)
+	ejCr := sim.NewPipe[Credit](fmt.Sprintf("ni%d->%s.credit", ni.Node, r.Name), 1)
+	op := r.outs[out]
+	op.link = ej
+	op.creditIn = ejCr
+	for c := range op.credits {
+		op.credits[c] = ejectBuf
+	}
+	ni.eject = ej
+	ni.ejectCredit = ejCr
+}
+
+// Send enqueues a packet for injection. The inject queue is unbounded; real
+// back-pressure comes from the protocol agents' MSHR limits.
+func (ni *NI) Send(now sim.Cycle, p *Packet) {
+	p.InjectedAt = now
+	if ni.stats != nil {
+		ni.stats.Injected++
+	}
+	ni.injectQ[p.Class].Push(p)
+}
+
+// Pending returns the number of packets waiting or partially injected.
+func (ni *NI) Pending() int {
+	n := 0
+	for c := range ni.injectQ {
+		n += ni.injectQ[c].Len()
+	}
+	return n
+}
+
+// Tick drains credits and ejected flits, then injects at most one flit.
+func (ni *NI) Tick(now sim.Cycle) {
+	if ni.out.creditIn != nil {
+		for {
+			c, ok := ni.out.creditIn.Pop(now)
+			if !ok {
+				break
+			}
+			ni.out.credits[c.VC]++
+		}
+	}
+	if ni.eject != nil {
+		for {
+			f, ok := ni.eject.Pop(now)
+			if !ok {
+				break
+			}
+			ni.ejectCredit.Push(now, Credit{VC: f.Pkt.Class})
+			p := f.Pkt
+			p.arrived++
+			if p.arrived == p.Size {
+				p.DeliveredAt = now
+				if ni.stats != nil {
+					ni.stats.RecordDelivery(p)
+				}
+				if ni.deliver == nil {
+					panic(fmt.Sprintf("noc: node %d has no delivery callback", ni.Node))
+				}
+				ni.deliver(now, p)
+			}
+		}
+	}
+	ni.inject(now)
+}
+
+// inject sends at most one flit through the local port, rotating across
+// classes for fairness.
+func (ni *NI) inject(now sim.Cycle) {
+	if ni.out.link == nil {
+		return
+	}
+	for k := 0; k < NumClasses; k++ {
+		c := Class((ni.rr + k) % NumClasses)
+		p, ok := ni.injectQ[c].Peek()
+		if !ok || ni.out.credits[c] <= 0 {
+			continue
+		}
+		seq := ni.nextSeq[c]
+		ni.out.link.Push(now, Flit{Pkt: p, Seq: seq})
+		ni.out.credits[c]--
+		if ni.stats != nil {
+			ni.stats.InjectFlits++
+		}
+		if seq == p.Size-1 {
+			ni.injectQ[c].Pop()
+			ni.nextSeq[c] = 0
+		} else {
+			ni.nextSeq[c] = seq + 1
+		}
+		ni.rr = (int(c) + 1) % NumClasses
+		return
+	}
+}
+
+// RouterNetwork is a generic network built from Routers and NIs; the
+// concrete topologies (mesh, flattened butterfly, NOC-Out's LLC network)
+// are constructed by the topo and core packages.
+type RouterNetwork struct {
+	Name    string
+	Routers []*Router
+	NIs     []*NI // indexed by NodeID; entries may be nil for internal nodes
+	stats   Stats
+}
+
+// NewRouterNetwork returns an empty network shell with n NI slots.
+func NewRouterNetwork(name string, n int) *RouterNetwork {
+	return &RouterNetwork{Name: name, NIs: make([]*NI, n)}
+}
+
+// StatsRef returns the shared counters for builders to hand to routers.
+func (rn *RouterNetwork) StatsRef() *Stats { return &rn.stats }
+
+// Stats implements Network.
+func (rn *RouterNetwork) Stats() *Stats { return &rn.stats }
+
+// Send implements Network.
+func (rn *RouterNetwork) Send(now sim.Cycle, p *Packet) {
+	ni := rn.NIs[p.Src]
+	if ni == nil {
+		panic(fmt.Sprintf("noc: %s: node %d has no NI", rn.Name, p.Src))
+	}
+	ni.Send(now, p)
+}
+
+// SetDeliver implements Network.
+func (rn *RouterNetwork) SetDeliver(n NodeID, fn func(now sim.Cycle, p *Packet)) {
+	if rn.NIs[n] == nil {
+		panic(fmt.Sprintf("noc: %s: node %d has no NI", rn.Name, n))
+	}
+	rn.NIs[n].SetDeliver(fn)
+}
+
+// Tick advances all routers then all NIs by one cycle. Because every
+// connection is a latched pipe, the relative order is immaterial.
+func (rn *RouterNetwork) Tick(now sim.Cycle) {
+	for _, r := range rn.Routers {
+		r.Tick(now)
+	}
+	for _, ni := range rn.NIs {
+		if ni != nil {
+			ni.Tick(now)
+		}
+	}
+}
+
+var _ Network = (*RouterNetwork)(nil)

@@ -1,0 +1,283 @@
+package noc
+
+import (
+	"fmt"
+
+	"nocout/internal/sim"
+)
+
+// RouteFunc selects the output-port index a packet should take from a
+// router. It must be a pure function of the packet's destination.
+type RouteFunc func(p *Packet) int
+
+// Cand names one (input port, virtual channel) pair; used to express static
+// arbitration priorities for NOC-Out tree nodes (§4.1: network responses >
+// local responses > network requests > local requests).
+type Cand struct {
+	Port int
+	VC   Class
+}
+
+// Router is a wormhole virtual-channel router with credit-based flow
+// control. Its per-hop latency contribution is PipeDelay cycles, added to
+// the downstream link's delay at Connect time; throughput is one flit per
+// cycle per port.
+//
+// The same type models all router flavours in the paper:
+//   - mesh routers: 5 in / 5 out, 2-cycle speculative pipeline
+//   - flattened-butterfly routers: 15 in / 15 out, 3-cycle pipeline
+//   - NOC-Out LLC routers: 3-cycle pipeline with extra tree ports
+//   - reduction/dispersion tree nodes: 2 in / 1 out (or 1 in / 2 out),
+//     zero-cycle pipeline with 1-cycle links and static priority
+type Router struct {
+	ID        NodeID
+	Name      string
+	PipeDelay sim.Cycle
+
+	ins      []*InPort
+	outs     []*OutPort
+	route    RouteFunc
+	prio     []Cand // static arbitration order; nil means round-robin
+	allCands []Cand // cached round-robin candidate cross product
+	rr       int    // rotating arbitration pointer
+	numVCs   int    // implemented VCs (area accounting); 0 = NumClasses
+	flits    int64  // flits routed through this router (energy accounting)
+	stats    *Stats
+}
+
+// NewRouter returns a router with no ports. Ports are added with AddIn /
+// AddOut and wired with Connect / ConnectNI.
+func NewRouter(id NodeID, name string, pipeDelay sim.Cycle, route RouteFunc, stats *Stats) *Router {
+	return &Router{ID: id, Name: name, PipeDelay: pipeDelay, route: route, stats: stats}
+}
+
+// SetPriority installs a static arbitration order (highest first) covering
+// every (port, class) pair that can hold traffic. Pairs not listed never win
+// arbitration, so the list must be exhaustive for the router's traffic.
+func (r *Router) SetPriority(order []Cand) { r.prio = order }
+
+// SetRoute replaces the routing function (used by builders that need the
+// router allocated before the topology-wide tables exist).
+func (r *Router) SetRoute(f RouteFunc) { r.route = f }
+
+// NumIn returns the number of input ports.
+func (r *Router) NumIn() int { return len(r.ins) }
+
+// NumOut returns the number of output ports.
+func (r *Router) NumOut() int { return len(r.outs) }
+
+// InPort is a router input with one FIFO buffer per virtual channel.
+type InPort struct {
+	name      string
+	cap       int // flits per VC
+	vcs       [NumClasses][]Flit
+	in        *sim.Pipe[Flit]
+	creditOut *sim.Pipe[Credit]
+}
+
+// OutPort is a router output: a link pipe plus downstream credit state.
+type OutPort struct {
+	name     string
+	link     *sim.Pipe[Flit]
+	creditIn *sim.Pipe[Credit]
+	credits  [NumClasses]int
+	owner    [NumClasses]*Packet
+	lengthMM float64
+}
+
+// AddIn appends an input port with the given per-VC buffer capacity and
+// returns its index.
+func (r *Router) AddIn(name string, capacity int) int {
+	if capacity < 1 {
+		panic("noc: input buffer capacity must be >= 1")
+	}
+	r.ins = append(r.ins, &InPort{name: name, cap: capacity})
+	return len(r.ins) - 1
+}
+
+// AddOut appends an output port and returns its index.
+func (r *Router) AddOut(name string) int {
+	r.outs = append(r.outs, &OutPort{name: name})
+	return len(r.outs) - 1
+}
+
+// SetVCCount records how many virtual channels the router actually
+// implements (the paper's tree nodes need only two, §4.1); it affects only
+// the area accounting, not simulation behaviour.
+func (r *Router) SetVCCount(n int) { r.numVCs = n }
+
+// VCCount returns the implemented VC count (default: one per class).
+func (r *Router) VCCount() int {
+	if r.numVCs > 0 {
+		return r.numVCs
+	}
+	return NumClasses
+}
+
+// BufferFlits returns the router's total input buffering in flits, used by
+// the area model.
+func (r *Router) BufferFlits() int {
+	n := 0
+	for _, in := range r.ins {
+		n += in.cap * r.VCCount()
+	}
+	return n
+}
+
+// FlitsRouted returns the number of flits this router has switched, for
+// per-router energy accounting.
+func (r *Router) FlitsRouted() int64 { return r.flits }
+
+// OutLinkLengthsMM returns the physical length of every connected output
+// link, for the area (repeaters) and energy (wire fJ/bit/mm) models.
+func (r *Router) OutLinkLengthsMM() []float64 {
+	var out []float64
+	for _, op := range r.outs {
+		if op.link != nil {
+			out = append(out, op.lengthMM)
+		}
+	}
+	return out
+}
+
+// Connect wires output out of router a to input in of router b with the
+// given link delay (cycles) and physical length (mm, for energy/area
+// accounting). The flit pipe carries a.PipeDelay + linkDelay of latency;
+// credits return upstream in one cycle.
+func Connect(a *Router, out int, b *Router, in int, linkDelay sim.Cycle, lengthMM float64) {
+	name := fmt.Sprintf("%s.%s->%s.%s", a.Name, a.outs[out].name, b.Name, b.ins[in].name)
+	flits := sim.NewPipe[Flit](name, a.PipeDelay+linkDelay)
+	credits := sim.NewPipe[Credit](name+".credit", 1)
+	op, ip := a.outs[out], b.ins[in]
+	op.link = flits
+	op.creditIn = credits
+	op.lengthMM = lengthMM
+	for c := range op.credits {
+		op.credits[c] = ip.cap
+	}
+	ip.in = flits
+	ip.creditOut = credits
+}
+
+// Tick advances the router one cycle: drain returned credits, accept
+// arriving flits, then perform switch allocation (one flit per input and per
+// output per cycle, packet-atomic per output VC, credit-gated).
+func (r *Router) Tick(now sim.Cycle) {
+	for _, op := range r.outs {
+		if op.creditIn == nil {
+			continue
+		}
+		for {
+			c, ok := op.creditIn.Pop(now)
+			if !ok {
+				break
+			}
+			op.credits[c.VC]++
+		}
+	}
+	for _, ip := range r.ins {
+		if ip.in == nil {
+			continue
+		}
+		for {
+			f, ok := ip.in.Pop(now)
+			if !ok {
+				break
+			}
+			vc := f.Pkt.Class
+			if len(ip.vcs[vc]) >= ip.cap {
+				panic(fmt.Sprintf("noc: %s input %s VC %v overflow (credit protocol violated)", r.Name, ip.name, vc))
+			}
+			ip.vcs[vc] = append(ip.vcs[vc], f)
+		}
+	}
+	r.allocate(now)
+}
+
+// allocate performs switch allocation for one cycle.
+func (r *Router) allocate(now sim.Cycle) {
+	var inUsed, outUsed [64]bool // routers never exceed 64 ports
+	cands := r.candidates()
+	n := len(cands)
+	if n == 0 {
+		return
+	}
+	start := 0
+	if r.prio == nil {
+		start = r.rr % n
+		r.rr++
+	}
+	for k := 0; k < n; k++ {
+		cd := cands[(start+k)%n]
+		if inUsed[cd.Port] {
+			continue
+		}
+		ip := r.ins[cd.Port]
+		q := ip.vcs[cd.VC]
+		if len(q) == 0 {
+			continue
+		}
+		f := q[0]
+		out := r.route(f.Pkt)
+		if out < 0 || out >= len(r.outs) {
+			panic(fmt.Sprintf("noc: %s route(%d->%d) = invalid port %d", r.Name, f.Pkt.Src, f.Pkt.Dst, out))
+		}
+		if outUsed[out] {
+			continue
+		}
+		op := r.outs[out]
+		if op.link == nil {
+			panic(fmt.Sprintf("noc: %s output %s not connected", r.Name, op.name))
+		}
+		// Packet atomicity: an output VC is owned by one packet from head
+		// to tail.
+		if own := op.owner[cd.VC]; own != nil {
+			if own != f.Pkt {
+				continue
+			}
+		} else if !f.Head() {
+			continue // only a head flit may claim a free VC
+		}
+		if op.credits[cd.VC] <= 0 {
+			continue
+		}
+		// Grant.
+		ip.vcs[cd.VC] = q[1:]
+		op.credits[cd.VC]--
+		if f.Head() {
+			op.owner[cd.VC] = f.Pkt
+			f.Pkt.hops++
+		}
+		if f.Tail() {
+			op.owner[cd.VC] = nil
+		}
+		op.link.Push(now, f)
+		if ip.creditOut != nil {
+			ip.creditOut.Push(now, Credit{VC: cd.VC})
+		}
+		r.flits++
+		if r.stats != nil {
+			r.stats.FlitHops++
+			r.stats.FlitLinkMM += op.lengthMM
+		}
+		inUsed[cd.Port] = true
+		outUsed[out] = true
+	}
+}
+
+// candidates returns the arbitration order for this cycle: the static
+// priority list if configured, otherwise every (port, VC) pair.
+func (r *Router) candidates() []Cand {
+	if r.prio != nil {
+		return r.prio
+	}
+	// Build once and cache: the full cross product is static.
+	if r.allCands == nil {
+		for i := range r.ins {
+			for c := Class(0); c < NumClasses; c++ {
+				r.allCands = append(r.allCands, Cand{Port: i, VC: c})
+			}
+		}
+	}
+	return r.allCands
+}

@@ -1,0 +1,124 @@
+package noc_test
+
+import (
+	"testing"
+
+	"nocout/internal/core"
+	"nocout/internal/noc"
+	"nocout/internal/sim"
+	"nocout/internal/topo"
+)
+
+func meshNodes(n int) []noc.NodeID {
+	out := make([]noc.NodeID, n)
+	for i := range out {
+		out[i] = noc.NodeID(i)
+	}
+	return out
+}
+
+func buildMesh() noc.Network {
+	return topo.NewMesh(topo.DefaultMeshParams(topo.TiledFloorplan(16, 8)))
+}
+
+func buildFBfly() noc.Network {
+	return topo.NewFBfly(topo.DefaultFBflyParams(topo.TiledFloorplan(16, 8)))
+}
+
+func TestLoadLatencyLowLoadMatchesZeroLoad(t *testing.T) {
+	pat := noc.UniformPattern(meshNodes(16), 1)
+	p := noc.MeasureLoad(buildMesh(), meshNodes(16), pat, 0.05, 2000, 4000, 1)
+	if p.Saturated {
+		t.Fatal("5% load must not saturate a mesh")
+	}
+	if p.AvgLatency < 5 || p.AvgLatency > 30 {
+		t.Fatalf("low-load mesh latency = %.1f, expected near zero-load (~15)", p.AvgLatency)
+	}
+	if p.AcceptedPktPerCycle < 0.9*p.OfferedPktPerCycle {
+		t.Fatal("low load must be fully accepted")
+	}
+}
+
+func TestLatencyRisesWithLoad(t *testing.T) {
+	pat := noc.UniformPattern(meshNodes(16), 5)
+	pts := noc.LoadSweep(buildMesh, meshNodes(16), pat, []float64{0.05, 0.8, 4.0}, 2000, 4000, 7)
+	if pts[1].AvgLatency <= pts[0].AvgLatency {
+		t.Fatalf("latency must grow with load: %.1f then %.1f", pts[0].AvgLatency, pts[1].AvgLatency)
+	}
+	if !pts[2].Saturated {
+		t.Fatalf("4 pkts/cycle of 5-flit packets should saturate a 16-node mesh: %+v", pts[2])
+	}
+	// Accepted throughput is monotone non-decreasing in offered load
+	// until saturation.
+	if pts[1].AcceptedPktPerCycle < pts[0].AcceptedPktPerCycle {
+		t.Fatal("accepted throughput regressed below a lighter load")
+	}
+}
+
+func TestFBflyLowerLatencyThanMeshUnderUniform(t *testing.T) {
+	pat := noc.UniformPattern(meshNodes(16), 1)
+	m := noc.MeasureLoad(buildMesh(), meshNodes(16), pat, 0.2, 2000, 4000, 3)
+	f := noc.MeasureLoad(buildFBfly(), meshNodes(16), pat, 0.2, 2000, 4000, 3)
+	if f.AvgLatency >= m.AvgLatency {
+		t.Fatalf("fbfly (%.1f) should undercut mesh (%.1f) at moderate load", f.AvgLatency, m.AvgLatency)
+	}
+}
+
+func TestNOCOutBilateralTraffic(t *testing.T) {
+	cfg := core.DefaultConfig()
+	n := core.Build(cfg)
+	var cores, banks []noc.NodeID
+	for i := 0; i < cfg.NumCoreNodes(); i++ {
+		cores = append(cores, noc.NodeID(i))
+	}
+	for c := 0; c < cfg.Columns; c++ {
+		banks = append(banks, cfg.LLCNode(c, 0))
+	}
+	pat := noc.BilateralPattern(cores, banks, 5)
+	all := append(append([]noc.NodeID{}, cores...), banks...)
+	p := noc.MeasureLoad(n, all, pat, 0.5, 3000, 6000, 11)
+	if p.Saturated {
+		t.Fatalf("NOC-Out should carry 0.5 pkt/cycle of bilateral traffic: %+v", p)
+	}
+	if p.AvgLatency <= 0 {
+		t.Fatal("no latency measured")
+	}
+	// The evaluation's operating point (§6.1: "the networks are not
+	// congested"): chip-level traffic is ~1-2 packets/cycle.
+	p2 := noc.MeasureLoad(core.Build(cfg), all, pat, 1.5, 3000, 6000, 11)
+	if p2.Saturated {
+		t.Fatalf("NOC-Out saturates below the chip's operating point: %+v", p2)
+	}
+}
+
+func TestPatternValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	noc.UniformPattern([]noc.NodeID{1}, 1)
+}
+
+func TestBilateralPatternShape(t *testing.T) {
+	pat := noc.BilateralPattern([]noc.NodeID{0, 1}, []noc.NodeID{10}, 5)
+	r := newTestRNG()
+	reqs, resps := 0, 0
+	for i := 0; i < 1000; i++ {
+		src, dst, size := pat(r)
+		switch {
+		case size == 1 && dst == 10 && (src == 0 || src == 1):
+			reqs++
+		case size == 5 && src == 10 && (dst == 0 || dst == 1):
+			resps++
+		default:
+			t.Fatalf("packet outside the bilateral pattern: %d->%d size %d", src, dst, size)
+		}
+	}
+	if reqs == 0 || resps == 0 {
+		t.Fatal("both directions must occur")
+	}
+}
+
+// newTestRNG gives patterns a deterministic stream.
+func newTestRNG() *sim.RNG { return sim.NewRNG(99) }

@@ -1,0 +1,143 @@
+// Package physic provides the physical models of the evaluation: NoC area
+// (ORION-flavoured buffers and crossbars plus repeatered links, §5.2) and
+// NoC energy (link-dominated, §6.4). The same area model drives Figure 8's
+// breakdown and Figure 9's equal-area link-width solver, so the
+// area-normalized comparison is self-consistent.
+package physic
+
+import (
+	"fmt"
+
+	"nocout/internal/core"
+	"nocout/internal/noc"
+	"nocout/internal/tech"
+	"nocout/internal/topo"
+)
+
+// BufferKind selects the buffer circuit: flip-flops for shallow queues
+// (mesh, NOC-Out), SRAM for the flattened butterfly's deep buffers (§5.2).
+type BufferKind uint8
+
+// Buffer kinds.
+const (
+	FlipFlop BufferKind = iota
+	SRAM
+)
+
+func (k BufferKind) cellMM2PerBit() float64 {
+	if k == SRAM {
+		return tech.SRAMMM2PerBit
+	}
+	return tech.FlipFlopMM2PerBit
+}
+
+// Breakdown is a NoC area report in mm², split the way Figure 8 splits it.
+type Breakdown struct {
+	Links    float64 // repeater area of all links
+	Buffers  float64 // input buffering
+	Crossbar float64 // switch fabric
+}
+
+// Total returns the summed area.
+func (b Breakdown) Total() float64 { return b.Links + b.Buffers + b.Crossbar }
+
+// Add returns the element-wise sum.
+func (b Breakdown) Add(o Breakdown) Breakdown {
+	return Breakdown{
+		Links:    b.Links + o.Links,
+		Buffers:  b.Buffers + o.Buffers,
+		Crossbar: b.Crossbar + o.Crossbar,
+	}
+}
+
+// Scale returns the breakdown scaled by f (used by width scaling).
+func (b Breakdown) Scale(f float64) Breakdown {
+	return Breakdown{Links: b.Links * f, Buffers: b.Buffers * f, Crossbar: b.Crossbar * f}
+}
+
+// String formats the breakdown.
+func (b Breakdown) String() string {
+	return fmt.Sprintf("links %.2f + buffers %.2f + crossbar %.2f = %.2f mm²",
+		b.Links, b.Buffers, b.Crossbar, b.Total())
+}
+
+// RoutersArea computes the area of a set of routers and their outgoing
+// links at the given flit width.
+func RoutersArea(routers []*noc.Router, linkBits int, kind BufferKind) Breakdown {
+	var b Breakdown
+	w := float64(linkBits)
+	for _, r := range routers {
+		b.Buffers += float64(r.BufferFlits()) * w * kind.cellMM2PerBit()
+		ports := r.NumIn()
+		if r.NumOut() > ports {
+			ports = r.NumOut()
+		}
+		b.Crossbar += tech.CrossbarAreaMM2(ports, linkBits)
+		for _, l := range r.OutLinkLengthsMM() {
+			b.Links += l * w * tech.RepeaterMM2PerBitMM
+		}
+	}
+	return b
+}
+
+// MeshArea returns the NoC area of the Table 1 tiled mesh.
+func MeshArea(cores int, llcMB float64, linkBits int) Breakdown {
+	plan := topo.TiledFloorplan(cores, llcMB)
+	p := topo.DefaultMeshParams(plan)
+	n := topo.NewMesh(p)
+	return RoutersArea(n.Routers, linkBits, FlipFlop)
+}
+
+// FBflyArea returns the NoC area of the Table 1 flattened butterfly.
+func FBflyArea(cores int, llcMB float64, linkBits int) Breakdown {
+	plan := topo.TiledFloorplan(cores, llcMB)
+	p := topo.DefaultFBflyParams(plan)
+	n := topo.NewFBfly(p)
+	return RoutersArea(n.Routers, linkBits, SRAM)
+}
+
+// NOCOutArea returns the NOC-Out interconnect area split into its three
+// networks (reduction trees, dispersion trees, LLC flattened butterfly),
+// matching §6.2's accounting.
+func NOCOutArea(cfg core.Config, linkBits int) (red, disp, llc Breakdown) {
+	n := core.Build(cfg)
+	red = RoutersArea(n.RedNodes, linkBits, FlipFlop)
+	disp = RoutersArea(n.DispNodes, linkBits, FlipFlop)
+	llc = RoutersArea(n.LLCRouters, linkBits, FlipFlop)
+	return red, disp, llc
+}
+
+// NOCOutTotalArea returns the summed NOC-Out area.
+func NOCOutTotalArea(cfg core.Config, linkBits int) Breakdown {
+	r, d, l := NOCOutArea(cfg, linkBits)
+	return r.Add(d).Add(l)
+}
+
+// DesignArea returns a design's total NoC area at a link width, using the
+// Table 1 organizations.
+func DesignArea(design string, linkBits int) Breakdown {
+	switch design {
+	case "mesh":
+		return MeshArea(64, 8, linkBits)
+	case "fbfly":
+		return FBflyArea(64, 8, linkBits)
+	case "nocout":
+		return NOCOutTotalArea(core.DefaultConfig(), linkBits)
+	}
+	panic(fmt.Sprintf("physic: unknown design %q", design))
+}
+
+// SolveWidthForArea finds the widest power-of-two-ish link width (multiple
+// of 8 bits, at least 8) whose area does not exceed budget mm² — Figure 9's
+// equal-area normalization. It reports the width and the achieved area.
+func SolveWidthForArea(design string, budgetMM2 float64) (linkBits int, area Breakdown) {
+	best := 8
+	bestArea := DesignArea(design, best)
+	for w := 8; w <= 512; w += 8 {
+		a := DesignArea(design, w)
+		if a.Total() <= budgetMM2 {
+			best, bestArea = w, a
+		}
+	}
+	return best, bestArea
+}

@@ -1,0 +1,153 @@
+package physic
+
+import (
+	"testing"
+
+	"nocout/internal/core"
+	"nocout/internal/noc"
+)
+
+func TestFigure8AreaAnchors(t *testing.T) {
+	mesh := MeshArea(64, 8, 128)
+	fbfly := FBflyArea(64, 8, 128)
+	nocout := NOCOutTotalArea(core.DefaultConfig(), 128)
+
+	within := func(name string, got, lo, hi float64) {
+		if got < lo || got > hi {
+			t.Errorf("%s area = %.2f mm², want within [%.1f, %.1f]", name, got, lo, hi)
+		}
+	}
+	// §6.2 anchors with calibration tolerance.
+	within("mesh", mesh.Total(), 3.0, 4.0)
+	within("fbfly", fbfly.Total(), 19, 27)
+	within("nocout", nocout.Total(), 2.3, 3.4)
+
+	if !(nocout.Total() < mesh.Total() && mesh.Total() < fbfly.Total()) {
+		t.Fatalf("ordering violated: nocout %.2f, mesh %.2f, fbfly %.2f",
+			nocout.Total(), mesh.Total(), fbfly.Total())
+	}
+	if r := fbfly.Total() / nocout.Total(); r < 6 {
+		t.Fatalf("fbfly/nocout area ratio = %.1f, want >= 6 (paper: ~9x)", r)
+	}
+	if r := fbfly.Total() / mesh.Total(); r < 5 {
+		t.Fatalf("fbfly/mesh area ratio = %.1f, want >= 5 (paper: ~7x)", r)
+	}
+}
+
+func TestNOCOutAreaComposition(t *testing.T) {
+	red, disp, llc := NOCOutArea(core.DefaultConfig(), 128)
+	total := red.Add(disp).Add(llc).Total()
+	// §6.2: the LLC butterfly is the majority of NOC-Out's area while
+	// linking a small fraction of tiles; each tree network is a modest
+	// share.
+	if llc.Total() < red.Total() || llc.Total() < disp.Total() {
+		t.Fatalf("LLC network (%.2f) should dominate trees (%.2f, %.2f)",
+			llc.Total(), red.Total(), disp.Total())
+	}
+	if frac := llc.Total() / total; frac < 0.45 || frac > 0.8 {
+		t.Fatalf("LLC share = %.2f, want around 0.64", frac)
+	}
+	for _, tr := range []struct {
+		name string
+		b    Breakdown
+	}{{"reduction", red}, {"dispersion", disp}} {
+		if frac := tr.b.Total() / total; frac < 0.08 || frac > 0.3 {
+			t.Errorf("%s share = %.2f, want around 0.18", tr.name, frac)
+		}
+	}
+}
+
+func TestFBflyBreakdownLinkDominated(t *testing.T) {
+	f := FBflyArea(64, 8, 128)
+	// The paper attributes fbfly's footprint to its link budget and
+	// many-ported routers.
+	if f.Links < f.Buffers {
+		t.Fatalf("fbfly links (%.2f) should exceed buffers (%.2f)", f.Links, f.Buffers)
+	}
+	if f.Links < 0.4*f.Total() {
+		t.Fatalf("fbfly links = %.2f of %.2f: links should dominate", f.Links, f.Total())
+	}
+}
+
+func TestAreaScalesWithWidth(t *testing.T) {
+	prev := 0.0
+	for _, w := range []int{32, 64, 128, 256} {
+		a := MeshArea(64, 8, w).Total()
+		if a <= prev {
+			t.Fatalf("area must grow with link width: %.2f at %d bits after %.2f", a, w, prev)
+		}
+		prev = a
+	}
+}
+
+func TestSolveWidthForArea(t *testing.T) {
+	budget := NOCOutTotalArea(core.DefaultConfig(), 128).Total()
+	for _, d := range []string{"mesh", "fbfly"} {
+		w, area := SolveWidthForArea(d, budget)
+		if area.Total() > budget {
+			t.Fatalf("%s: solved area %.2f exceeds budget %.2f", d, area.Total(), budget)
+		}
+		if over := DesignArea(d, w+8); over.Total() <= budget {
+			t.Fatalf("%s: width %d is not maximal (w+8 still fits)", d, w)
+		}
+	}
+	// Figure 9's headline: fbfly's equal-area width collapses (paper:
+	// bandwidth shrinks ~7x); the mesh shrinks mildly.
+	wm, _ := SolveWidthForArea("mesh", budget)
+	wf, _ := SolveWidthForArea("fbfly", budget)
+	if wf >= wm {
+		t.Fatalf("fbfly equal-area width (%d) should be far below mesh's (%d)", wf, wm)
+	}
+	if ratio := 128 / wf; ratio < 4 {
+		t.Fatalf("fbfly width shrink = %dx, want >= 4x (paper ~7x)", ratio)
+	}
+	if wm < 64 {
+		t.Fatalf("mesh equal-area width = %d, should remain reasonably wide", wm)
+	}
+}
+
+func TestPowerModel(t *testing.T) {
+	area := MeshArea(64, 8, 128)
+	idle := NetworkPower(noc.Stats{}, nil, 10000, 128, area)
+	if idle.LinkW != 0 || idle.RouterW != 0 {
+		t.Fatal("idle network should dissipate only leakage")
+	}
+	if idle.LeakageW <= 0 {
+		t.Fatal("leakage must be positive")
+	}
+	busy := NetworkPower(noc.Stats{FlitLinkMM: 1e6}, nil, 10000, 128, area)
+	if busy.LinkW <= 0 {
+		t.Fatal("link activity must dissipate power")
+	}
+	// Twice the activity in the same window doubles dynamic power.
+	busy2 := NetworkPower(noc.Stats{FlitLinkMM: 2e6}, nil, 10000, 128, area)
+	if busy2.LinkW < busy.LinkW*1.99 || busy2.LinkW > busy.LinkW*2.01 {
+		t.Fatalf("link power not linear in activity: %v vs %v", busy2.LinkW, busy.LinkW)
+	}
+	if zero := NetworkPower(noc.Stats{}, nil, 0, 128, area); zero.Total() != zero.LeakageW {
+		t.Fatal("zero-cycle window must be leakage only")
+	}
+}
+
+func TestBreakdownArithmetic(t *testing.T) {
+	a := Breakdown{Links: 1, Buffers: 2, Crossbar: 3}
+	b := a.Add(a)
+	if b.Total() != 12 {
+		t.Fatalf("Add: %v", b)
+	}
+	if s := a.Scale(2); s.Total() != 12 || s.Links != 2 {
+		t.Fatalf("Scale: %v", s)
+	}
+	if a.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestDesignAreaUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	DesignArea("torus", 128)
+}

@@ -1,0 +1,68 @@
+package physic
+
+import (
+	"fmt"
+	"math"
+
+	"nocout/internal/noc"
+	"nocout/internal/tech"
+)
+
+// Power is a NoC power report in watts, split by component. As in §6.4,
+// link energy dominates all three organizations.
+type Power struct {
+	LinkW    float64 // wire + repeater switching
+	RouterW  float64 // buffers, switch, arbitration
+	LeakageW float64 // static power of the NoC logic area
+}
+
+// Total returns the summed power.
+func (p Power) Total() float64 { return p.LinkW + p.RouterW + p.LeakageW }
+
+// String formats the report.
+func (p Power) String() string {
+	return fmt.Sprintf("links %.2f W + routers %.2f W + leakage %.2f W = %.2f W",
+		p.LinkW, p.RouterW, p.LeakageW, p.Total())
+}
+
+// NetworkPower converts a measurement window's activity counters into
+// average power at the 2 GHz operating point. routers enables per-router
+// energy (a 2-port tree mux costs far less per flit than a 15-port
+// crossbar); pass the network's router list.
+func NetworkPower(st noc.Stats, routers []*noc.Router, cycles int64, linkBits int, area Breakdown) Power {
+	return NetworkPowerKind(st, routers, cycles, linkBits, area, FlipFlop)
+}
+
+// NetworkPowerKind is NetworkPower with an explicit buffer circuit kind.
+func NetworkPowerKind(st noc.Stats, routers []*noc.Router, cycles int64, linkBits int, area Breakdown, kind BufferKind) Power {
+	if cycles <= 0 {
+		return Power{LeakageW: tech.LeakageWPerMM2 * area.Total()}
+	}
+	seconds := float64(cycles) / (tech.ClockGHz * 1e9)
+	bits := float64(linkBits)
+
+	linkJ := st.FlitLinkMM * bits * tech.WireFJPerBitMM * 1e-15
+	bufPJ := tech.BufferPJPerBit
+	if kind == SRAM {
+		bufPJ *= tech.SRAMPJFactor
+	}
+	routerJ := 0.0
+	for _, r := range routers {
+		ports := r.NumIn()
+		if r.NumOut() > ports {
+			ports = r.NumOut()
+		}
+		perFlitPJ := bits*bufPJ + bits*tech.XbarPJPerBit*math.Sqrt(float64(ports)/5) + tech.ArbiterPJ
+		if ports <= 2 {
+			// Mux node: no crossbar, trivial arbiter (§4.1).
+			perFlitPJ = bits*bufPJ + 0.2
+		}
+		routerJ += float64(r.FlitsRouted()) * perFlitPJ * 1e-12
+	}
+
+	return Power{
+		LinkW:    linkJ / seconds,
+		RouterW:  routerJ / seconds,
+		LeakageW: tech.LeakageWPerMM2 * area.Total(),
+	}
+}

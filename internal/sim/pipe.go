@@ -1,0 +1,113 @@
+package sim
+
+// Pipe is a latched delay line carrying values of type T between two
+// components. A value pushed at cycle t with delay d becomes visible to Pop
+// at cycle t+d (d >= 1 preserves the determinism rules in the package doc).
+//
+// Pipe has unbounded capacity: back-pressure belongs to the protocol built
+// on top (credits), not the wire.
+type Pipe[T any] struct {
+	name  string
+	delay Cycle
+	q     []pipeEntry[T]
+}
+
+type pipeEntry[T any] struct {
+	at Cycle
+	v  T
+}
+
+// NewPipe returns a pipe with the given fixed delay in cycles. Delay must be
+// at least 1; a zero-delay wire would break tick-order independence.
+func NewPipe[T any](name string, delay Cycle) *Pipe[T] {
+	if delay < 1 {
+		panic("sim: pipe delay must be >= 1 cycle: " + name)
+	}
+	return &Pipe[T]{name: name, delay: delay}
+}
+
+// Name returns the debugging name the pipe was created with.
+func (p *Pipe[T]) Name() string { return p.name }
+
+// Delay returns the pipe's fixed latency in cycles.
+func (p *Pipe[T]) Delay() Cycle { return p.delay }
+
+// Push inserts v at cycle now; it becomes poppable at now+delay.
+func (p *Pipe[T]) Push(now Cycle, v T) {
+	p.q = append(p.q, pipeEntry[T]{at: now + p.delay, v: v})
+}
+
+// PushAfter inserts v with an additional extra cycles of latency on top of
+// the pipe's base delay. Useful for modelling pipelines whose depth depends
+// on the value (for example distance-proportional links).
+func (p *Pipe[T]) PushAfter(now Cycle, extra Cycle, v T) {
+	if extra < 0 {
+		extra = 0
+	}
+	p.q = append(p.q, pipeEntry[T]{at: now + p.delay + extra, v: v})
+}
+
+// Pop removes and returns the oldest value whose delivery time has arrived.
+// The second result is false when nothing is deliverable at cycle now.
+//
+// Values are delivered strictly in push order; a value with a shorter
+// per-value extra delay never overtakes an earlier value (this models a
+// FIFO wire, and keeps flit order within a packet intact).
+func (p *Pipe[T]) Pop(now Cycle) (T, bool) {
+	var zero T
+	if len(p.q) == 0 || p.q[0].at > now {
+		return zero, false
+	}
+	v := p.q[0].v
+	// Shift rather than reslice forever; queues are short in steady state.
+	copy(p.q, p.q[1:])
+	p.q = p.q[:len(p.q)-1]
+	return v, true
+}
+
+// Peek returns the oldest deliverable value without removing it.
+func (p *Pipe[T]) Peek(now Cycle) (T, bool) {
+	var zero T
+	if len(p.q) == 0 || p.q[0].at > now {
+		return zero, false
+	}
+	return p.q[0].v, true
+}
+
+// Len returns the number of values in flight.
+func (p *Pipe[T]) Len() int { return len(p.q) }
+
+// Queue is an unbounded FIFO with same-cycle visibility. It is safe to use
+// between components only when the producer always ticks before the
+// consumer, or when the consumer drains it at the start of its Tick and the
+// producer pushes during its own Tick (classic mailbox pattern).
+type Queue[T any] struct {
+	q []T
+}
+
+// Push appends v.
+func (q *Queue[T]) Push(v T) { q.q = append(q.q, v) }
+
+// Pop removes and returns the head.
+func (q *Queue[T]) Pop() (T, bool) {
+	var zero T
+	if len(q.q) == 0 {
+		return zero, false
+	}
+	v := q.q[0]
+	copy(q.q, q.q[1:])
+	q.q = q.q[:len(q.q)-1]
+	return v, true
+}
+
+// Peek returns the head without removing it.
+func (q *Queue[T]) Peek() (T, bool) {
+	var zero T
+	if len(q.q) == 0 {
+		return zero, false
+	}
+	return q.q[0], true
+}
+
+// Len returns the queue depth.
+func (q *Queue[T]) Len() int { return len(q.q) }

@@ -1,0 +1,77 @@
+package sim
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (xorshift64*). Each component that needs randomness owns its own stream so
+// that adding a component never perturbs another component's draws.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded from seed. A zero seed is remapped to a
+// fixed non-zero constant because xorshift has an all-zero fixed point.
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{state: seed}
+}
+
+// Fork derives an independent stream from this one, keyed by id. Forking is
+// deterministic: the same parent seed and id always yield the same child.
+func (r *RNG) Fork(id uint64) *RNG {
+	// SplitMix64 of (state ^ golden*id) gives well-separated streams.
+	z := r.state ^ (0x9E3779B97F4A7C15 * (id + 1))
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return NewRNG(z)
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a uniform value in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int64n returns a uniform value in [0, n). n must be positive.
+func (r *RNG) Int64n(n int64) int64 {
+	if n <= 0 {
+		panic("sim: Int64n with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool { return r.Float64() < p }
+
+// Geometric returns a sample from a geometric distribution with mean m
+// (m >= 1): the number of trials until first success with p = 1/m, clipped
+// to at least 1. Used for run lengths (function bodies, bursts).
+func (r *RNG) Geometric(m float64) int {
+	if m <= 1 {
+		return 1
+	}
+	p := 1.0 / m
+	n := 1
+	for !r.Bool(p) && n < int(64*m) {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,64 @@
+// Package sim provides the deterministic cycle-driven simulation substrate
+// used by every timing model in this repository: a clocked engine, latched
+// delay pipes for inter-component communication, and a seeded RNG.
+//
+// Determinism rules:
+//   - Components communicate only through Pipe values (or through message
+//     queues drained at the start of the receiver's Tick), never by calling
+//     into each other mid-cycle.
+//   - The Engine ticks components in registration order every cycle; a
+//     correct component only consumes values that were pushed on an earlier
+//     cycle, so registration order never changes results.
+package sim
+
+// Cycle is a simulation timestamp in clock cycles.
+type Cycle int64
+
+// Ticker is implemented by every simulated component.
+type Ticker interface {
+	// Tick advances the component by one cycle. now is the current cycle.
+	Tick(now Cycle)
+}
+
+// TickFunc adapts a function to the Ticker interface.
+type TickFunc func(now Cycle)
+
+// Tick calls f(now).
+func (f TickFunc) Tick(now Cycle) { f(now) }
+
+// Engine drives a set of Tickers with a shared clock.
+type Engine struct {
+	now     Cycle
+	tickers []Ticker
+}
+
+// NewEngine returns an engine with the clock at cycle 0.
+func NewEngine() *Engine { return &Engine{} }
+
+// Register appends components to the tick order.
+func (e *Engine) Register(ts ...Ticker) { e.tickers = append(e.tickers, ts...) }
+
+// Now returns the current cycle (the last cycle that was ticked).
+func (e *Engine) Now() Cycle { return e.now }
+
+// Step advances the simulation by n cycles.
+func (e *Engine) Step(n Cycle) {
+	for i := Cycle(0); i < n; i++ {
+		e.now++
+		for _, t := range e.tickers {
+			t.Tick(e.now)
+		}
+	}
+}
+
+// RunUntil advances the simulation until cond returns true or limit cycles
+// have elapsed. It reports whether cond was satisfied.
+func (e *Engine) RunUntil(cond func() bool, limit Cycle) bool {
+	for i := Cycle(0); i < limit; i++ {
+		if cond() {
+			return true
+		}
+		e.Step(1)
+	}
+	return cond()
+}

@@ -1,0 +1,94 @@
+// Package tech centralizes the 32 nm technology parameters the paper's
+// methodology section (§5.2) publishes. Both the timing models (wire
+// latencies) and the physical models (area, energy) read from here so the
+// two views can never drift apart.
+package tech
+
+import "math"
+
+// Operating point (Table 1).
+const (
+	ClockGHz = 2.0  // 2 GHz
+	VoltageV = 0.9  // 0.9 V
+	NodeNM   = 32.0 // 32 nm
+)
+
+// Wires: semi-global, 200 nm pitch, power-delay-optimized repeaters
+// (§5.2): 125 ps/mm latency, 50 fJ/bit/mm on random data, repeaters are
+// 19% of link energy.
+const (
+	WirePsPerMM        = 125.0
+	WireFJPerBitMM     = 50.0
+	RepeaterEnergyFrac = 0.19
+	WirePitchMM        = 200e-6 // 200 nm in mm
+)
+
+// Repeater area per bit per mm of link. Wires route over logic; only the
+// repeaters consume die area. Calibrated so the flattened butterfly's link
+// budget lands near the paper's Figure 8 (links dominate its 23 mm²).
+const RepeaterMM2PerBitMM = 2.3e-5
+
+// Buffer cell areas (mm² per bit). ORION-style: flip-flop buffers for
+// shallow mesh/NOC-Out queues, denser SRAM for the flattened butterfly's
+// deep buffers (§5.2).
+const (
+	FlipFlopMM2PerBit = 3.0e-6
+	SRAMMM2PerBit     = 0.6e-6
+)
+
+// Crossbar area model: a matrix crossbar's side grows with ports × flit
+// width × wire pitch; area is the square of the side (ORION's w²n² form).
+// CrossbarAreaMM2 returns the switch area for an n-port, widthBits-wide
+// router.
+func CrossbarAreaMM2(ports int, widthBits int) float64 {
+	if ports <= 2 {
+		// A 2-input mux, not a matrix crossbar (the NOC-Out tree nodes'
+		// whole point, §4.1): linear in width.
+		return float64(widthBits) * WirePitchMM * MuxHeightMM
+	}
+	side := float64(ports) * float64(widthBits) * WirePitchMM
+	return xbarEfficiency * side * side
+}
+
+// xbarEfficiency derates the naive (ports·width·pitch)² matrix bound for
+// layout efficiency; fitted to the §6.2 area anchors.
+const xbarEfficiency = 0.75
+
+// MuxHeightMM is the cell height of a 2:1 mux column.
+const MuxHeightMM = 0.02
+
+// Buffer energy per flit write+read, picojoules, per bit (ORION-flavoured
+// small constants; the NoC power story is link-dominated as in §6.4).
+const (
+	BufferPJPerBit = 0.043 // flip-flop write + read per bit
+	SRAMPJFactor   = 0.6   // SRAM buffers are more energy-efficient (§5.2)
+	XbarPJPerBit   = 0.040 // per bit for a 5-port switch; scales ~sqrt(ports)
+	ArbiterPJ      = 1.0
+)
+
+// Static (leakage) power per mm² of NoC logic, watts. Keeps idle networks
+// from reporting zero power.
+const LeakageWPerMM2 = 0.01
+
+// Cache macros (CACTI-derived, §5.2): 3.2 mm² and ~500 mW per MB.
+const (
+	CacheMM2PerMB = 3.2
+	CacheWPerMB   = 0.5
+)
+
+// Core (scaled Cortex-A15, §5.2): 2.9 mm² with L1s, 1.05 W at 2 GHz.
+const (
+	CoreMM2 = 2.9
+	CoreW   = 1.05
+)
+
+// WireCycles converts a physical distance to whole clock cycles at the
+// 2 GHz operating point (minimum 1 cycle: any real wire is latched).
+func WireCycles(mm float64) int64 {
+	ps := mm * WirePsPerMM
+	cycles := int64(math.Ceil(ps * ClockGHz / 1000.0))
+	if cycles < 1 {
+		cycles = 1
+	}
+	return cycles
+}

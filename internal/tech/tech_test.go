@@ -1,0 +1,69 @@
+package tech
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWireCycles(t *testing.T) {
+	// 125 ps/mm at 2 GHz: 1 cycle covers 4 mm.
+	cases := []struct {
+		mm   float64
+		want int64
+	}{
+		{0, 1},   // latched minimum
+		{1, 1},   // 125 ps < 500 ps
+		{4, 1},   // exactly one cycle
+		{4.1, 2}, // just over
+		{8, 2},
+		{16, 4},
+	}
+	for _, c := range cases {
+		if got := WireCycles(c.mm); got != c.want {
+			t.Errorf("WireCycles(%v) = %d, want %d", c.mm, got, c.want)
+		}
+	}
+}
+
+func TestCrossbarAreaGrowsQuadratically(t *testing.T) {
+	a5 := CrossbarAreaMM2(5, 128)
+	a15 := CrossbarAreaMM2(15, 128)
+	if r := a15 / a5; math.Abs(r-9) > 1e-9 {
+		t.Fatalf("3x the ports should cost 9x the area, got %vx", r)
+	}
+	w64 := CrossbarAreaMM2(5, 64)
+	if r := a5 / w64; math.Abs(r-4) > 1e-9 {
+		t.Fatalf("2x the width should cost 4x the area, got %vx", r)
+	}
+}
+
+func TestMuxSpecialCase(t *testing.T) {
+	mux := CrossbarAreaMM2(2, 128)
+	xbar := CrossbarAreaMM2(3, 128)
+	if mux >= xbar {
+		t.Fatalf("a 2-input mux (%v) must be far cheaper than a 3-port crossbar (%v)", mux, xbar)
+	}
+	if mux <= 0 {
+		t.Fatal("mux area must be positive")
+	}
+	// Mux area is linear in width.
+	if r := CrossbarAreaMM2(2, 256) / mux; math.Abs(r-2) > 1e-9 {
+		t.Fatalf("mux width scaling = %v, want 2", r)
+	}
+}
+
+func TestPaperAnchors(t *testing.T) {
+	// §5.2 constants the models are built on.
+	if WirePsPerMM != 125 || WireFJPerBitMM != 50 {
+		t.Fatal("wire constants diverged from the paper")
+	}
+	if CacheMM2PerMB != 3.2 || CoreMM2 != 2.9 {
+		t.Fatal("macro areas diverged from the paper")
+	}
+	if ClockGHz != 2.0 || VoltageV != 0.9 || NodeNM != 32.0 {
+		t.Fatal("operating point diverged from Table 1")
+	}
+	if SRAMMM2PerBit >= FlipFlopMM2PerBit {
+		t.Fatal("SRAM must be denser than flip-flops (§5.2)")
+	}
+}

@@ -1,0 +1,91 @@
+package topo
+
+import (
+	"testing"
+
+	"nocout/internal/noc"
+	"nocout/internal/sim"
+)
+
+func TestMeshAuxEndpoints(t *testing.T) {
+	plan := TiledFloorplan(16, 8)
+	p := DefaultMeshParams(plan)
+	p.AuxTiles = []noc.NodeID{plan.Node(0, 1), plan.Node(3, 2)}
+	m := NewMesh(p)
+
+	// Aux node 16 lives at tile (0,1); reachable from any tile.
+	got := 0
+	m.SetDeliver(16, func(now sim.Cycle, pk *noc.Packet) { got++ })
+	m.SetDeliver(5, func(now sim.Cycle, pk *noc.Packet) { got++ })
+	e := sim.NewEngine()
+	e.Register(m)
+	m.Send(e.Now(), &noc.Packet{ID: 1, Class: noc.ClassReq, Src: 15, Dst: 16, Size: 1})
+	// And back from the aux endpoint to a tile.
+	m.Send(e.Now(), &noc.Packet{ID: 2, Class: noc.ClassResp, Src: 17, Dst: 5, Size: 5})
+	if !e.RunUntil(func() bool { return got == 2 }, 2000) {
+		t.Fatalf("aux traffic delivered %d/2", got)
+	}
+}
+
+func TestMeshAuxUsesDedicatedPort(t *testing.T) {
+	plan := TiledFloorplan(16, 8)
+	base := NewMesh(DefaultMeshParams(plan))
+	p := DefaultMeshParams(plan)
+	host := plan.Node(1, 1)
+	p.AuxTiles = []noc.NodeID{host}
+	withAux := NewMesh(p)
+	// The hosting router gains exactly one input and one output port.
+	if withAux.Routers[host].NumIn() != base.Routers[host].NumIn()+1 {
+		t.Fatalf("aux input port not added: %d vs %d",
+			withAux.Routers[host].NumIn(), base.Routers[host].NumIn())
+	}
+	if withAux.Routers[host].NumOut() != base.Routers[host].NumOut()+1 {
+		t.Fatal("aux output port not added")
+	}
+	// Other routers unchanged.
+	other := plan.Node(2, 3)
+	if withAux.Routers[other].NumIn() != base.Routers[other].NumIn() {
+		t.Fatal("unrelated router grew ports")
+	}
+}
+
+func TestFBflyAuxEndpoints(t *testing.T) {
+	plan := TiledFloorplan(16, 8)
+	p := DefaultFBflyParams(plan)
+	p.AuxTiles = []noc.NodeID{plan.Node(3, 3)}
+	f := NewFBfly(p)
+	got := 0
+	f.SetDeliver(16, func(now sim.Cycle, pk *noc.Packet) { got++ })
+	f.SetDeliver(0, func(now sim.Cycle, pk *noc.Packet) { got++ })
+	e := sim.NewEngine()
+	e.Register(f)
+	f.Send(e.Now(), &noc.Packet{ID: 1, Class: noc.ClassReq, Src: 0, Dst: 16, Size: 1})
+	f.Send(e.Now(), &noc.Packet{ID: 2, Class: noc.ClassResp, Src: 16, Dst: 0, Size: 5})
+	if !e.RunUntil(func() bool { return got == 2 }, 2000) {
+		t.Fatalf("fbfly aux traffic delivered %d/2", got)
+	}
+}
+
+func TestIdealAuxEndpoints(t *testing.T) {
+	plan := TiledFloorplan(16, 8)
+	id := NewIdeal(plan, plan.Node(0, 0), plan.Node(3, 3))
+	got := 0
+	id.SetDeliver(17, func(now sim.Cycle, pk *noc.Packet) { got++ })
+	e := sim.NewEngine()
+	e.Register(id)
+	id.Send(e.Now(), &noc.Packet{ID: 1, Class: noc.ClassReq, Src: 0, Dst: 17, Size: 1})
+	if !e.RunUntil(func() bool { return got == 1 }, 100) {
+		t.Fatal("ideal aux endpoint unreachable")
+	}
+	// Latency equals the wire delay to the hosting tile.
+	id2 := NewIdeal(plan, plan.Node(3, 3))
+	var p2 *noc.Packet
+	id2.SetDeliver(16, func(now sim.Cycle, pk *noc.Packet) { p2 = pk })
+	e2 := sim.NewEngine()
+	e2.Register(id2)
+	id2.Send(e2.Now(), &noc.Packet{ID: 1, Class: noc.ClassReq, Src: 0, Dst: 16, Size: 1})
+	e2.RunUntil(func() bool { return p2 != nil }, 100)
+	if want := plan.WireCyclesBetween(0, plan.Node(3, 3)); p2.Latency() != want {
+		t.Fatalf("aux wire latency = %d, want %d", p2.Latency(), want)
+	}
+}

@@ -1,0 +1,60 @@
+package topo
+
+import (
+	"fmt"
+
+	"nocout/internal/noc"
+	"nocout/internal/sim"
+	"nocout/internal/tech"
+)
+
+// CrossbarParams configures the delay-optimized central crossbar of the
+// paper's background (§2.2): the Oracle T-series interconnect style that
+// scale-out processors used before many-core counts made it untenable.
+// Every tile connects to one central switch; latency is the wire to the
+// die center plus a short pipeline, but the switch's area grows
+// quadratically with port count (why the SOP designs stop at ~16 cores).
+type CrossbarParams struct {
+	Plan      Floorplan
+	PipeDelay sim.Cycle // switch pipeline (default 2)
+	BufFlits  int       // per-VC input buffering (default 5)
+	EjectBuf  int
+}
+
+// DefaultCrossbarParams returns a T-series-like configuration.
+func DefaultCrossbarParams(plan Floorplan) CrossbarParams {
+	return CrossbarParams{Plan: plan, PipeDelay: 2, BufFlits: 5, EjectBuf: 8}
+}
+
+// NewCrossbar builds a single-switch network over the floorplan.
+func NewCrossbar(p CrossbarParams) *noc.RouterNetwork {
+	plan := p.Plan
+	n := plan.NumTiles()
+	rn := noc.NewRouterNetwork(fmt.Sprintf("xbar%d", n), n)
+	r := noc.NewRouter(0, "xbar", p.PipeDelay, nil, rn.StatsRef())
+	r.SetRoute(func(pk *noc.Packet) int { return int(pk.Dst) })
+
+	// Wire length from each tile to the die center.
+	cx := float64(plan.Cols-1) / 2 * plan.TileW
+	cy := float64(plan.Rows-1) / 2 * plan.TileH
+	for i := 0; i < n; i++ {
+		x, y := plan.Coord(noc.NodeID(i))
+		dx := absF(float64(x)*plan.TileW - cx)
+		dy := absF(float64(y)*plan.TileH - cy)
+		wire := sim.Cycle(tech.WireCycles(dx + dy))
+		in := r.AddIn(fmt.Sprintf("t%d", i), p.BufFlits)
+		out := r.AddOut(fmt.Sprintf("t%d", i))
+		ni := noc.NewNI(noc.NodeID(i), rn.StatsRef())
+		noc.ConnectNI(ni, r, in, out, wire, wire, p.EjectBuf)
+		rn.NIs[i] = ni
+	}
+	rn.Routers = []*noc.Router{r}
+	return rn
+}
+
+func absF(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

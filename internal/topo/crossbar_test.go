@@ -1,0 +1,73 @@
+package topo
+
+import (
+	"testing"
+
+	"nocout/internal/noc"
+	"nocout/internal/sim"
+	"nocout/internal/tech"
+)
+
+func TestCrossbarDelivery(t *testing.T) {
+	plan := TiledFloorplan(16, 4)
+	x := NewCrossbar(DefaultCrossbarParams(plan))
+	e := sim.NewEngine()
+	e.Register(x)
+	delivered := 0
+	for i := 0; i < 16; i++ {
+		x.SetDeliver(noc.NodeID(i), func(now sim.Cycle, p *noc.Packet) { delivered++ })
+	}
+	sent := 0
+	for s := 0; s < 16; s++ {
+		for d := 0; d < 16; d++ {
+			if s == d {
+				continue
+			}
+			x.Send(e.Now(), &noc.Packet{ID: uint64(sent), Class: noc.ClassReq,
+				Src: noc.NodeID(s), Dst: noc.NodeID(d), Size: 1})
+			sent++
+		}
+	}
+	if !e.RunUntil(func() bool { return delivered == sent }, 100000) {
+		t.Fatalf("crossbar delivered %d/%d", delivered, sent)
+	}
+}
+
+func TestCrossbarSingleSwitchHop(t *testing.T) {
+	plan := TiledFloorplan(16, 4)
+	x := NewCrossbar(DefaultCrossbarParams(plan))
+	e := sim.NewEngine()
+	e.Register(x)
+	var got *noc.Packet
+	x.SetDeliver(15, func(now sim.Cycle, p *noc.Packet) { got = p })
+	x.Send(e.Now(), &noc.Packet{ID: 1, Class: noc.ClassReq, Src: 0, Dst: 15, Size: 1})
+	if !e.RunUntil(func() bool { return got != nil }, 1000) {
+		t.Fatal("never delivered")
+	}
+	if got.Hops() != 1 {
+		t.Fatalf("crossbar traversals = %d, want exactly 1", got.Hops())
+	}
+	// At 16 cores the crossbar is fast: well under a mesh's multi-hop path.
+	m := NewMesh(DefaultMeshParams(plan))
+	var pm *noc.Packet
+	m.SetDeliver(15, func(now sim.Cycle, p *noc.Packet) { pm = p })
+	e2 := sim.NewEngine()
+	e2.Register(m)
+	m.Send(e2.Now(), &noc.Packet{ID: 1, Class: noc.ClassReq, Src: 0, Dst: 15, Size: 1})
+	e2.RunUntil(func() bool { return pm != nil }, 1000)
+	if got.Latency() >= pm.Latency() {
+		t.Fatalf("16-node crossbar (%d cy) should beat mesh (%d cy)", got.Latency(), pm.Latency())
+	}
+}
+
+func TestCrossbarAreaScalesQuadratically(t *testing.T) {
+	// The §2.2 scalability story: the central switch area grows with the
+	// square of the port count, while a mesh's router budget grows
+	// linearly — which is why crossbar-based scale-out parts stop at ~16
+	// cores.
+	a16 := tech.CrossbarAreaMM2(16+1, 128)
+	a64 := tech.CrossbarAreaMM2(64+1, 128)
+	if ratio := a64 / a16; ratio < 10 {
+		t.Fatalf("64-port crossbar should dwarf 16-port: ratio %.1f", ratio)
+	}
+}

@@ -1,0 +1,193 @@
+package topo
+
+import (
+	"fmt"
+
+	"nocout/internal/noc"
+	"nocout/internal/sim"
+)
+
+// FBflyParams configures the 2-D flattened butterfly of §5.1: every router
+// is directly linked to all routers in its row and column (Figure 3),
+// giving at most two network hops. Routers have a 3-stage non-speculative
+// pipeline; a flit covers up to two tiles per cycle on the long links, and
+// buffer depth per port is sized to the link's round-trip credit time.
+type FBflyParams struct {
+	Plan          Floorplan
+	PipeDelay     sim.Cycle // default 3
+	TilesPerCycle int       // link reach per cycle (default 2)
+	BufSlack      int       // flits beyond link delay per VC (default 5)
+	EjectBuf      int
+
+	// AuxTiles attaches auxiliary endpoints (memory controllers) through
+	// dedicated router ports; entry k hosts aux node NumTiles+k.
+	AuxTiles []noc.NodeID
+}
+
+// DefaultFBflyParams returns the Table 1 flattened-butterfly configuration.
+func DefaultFBflyParams(plan Floorplan) FBflyParams {
+	return FBflyParams{Plan: plan, PipeDelay: 3, TilesPerCycle: 2, BufSlack: 5, EjectBuf: 8}
+}
+
+// FBflyLinkDelay returns the cycles to traverse a link spanning dist tiles.
+func FBflyLinkDelay(dist, tilesPerCycle int) sim.Cycle {
+	if dist < 1 {
+		return 1
+	}
+	d := (dist + tilesPerCycle - 1) / tilesPerCycle
+	return sim.Cycle(d)
+}
+
+// NewFBfly builds the 2-D flattened butterfly network.
+func NewFBfly(p FBflyParams) *noc.RouterNetwork {
+	plan := p.Plan
+	n := plan.NumTiles()
+	rn := noc.NewRouterNetwork(fmt.Sprintf("fbfly%dx%d", plan.Cols, plan.Rows), n+len(p.AuxTiles))
+	routers := make([]*noc.Router, n)
+
+	// rowOut[i][x'] / colOut[i][y'] give output port indices toward column
+	// x' / row y'; -1 for self. Inputs are created pairwise with outputs so
+	// indices coincide.
+	rowOut := make([][]int, n)
+	colOut := make([][]int, n)
+	localOut := make([]int, n)
+	localIn := make([]int, n)
+
+	for i := 0; i < n; i++ {
+		id := noc.NodeID(i)
+		x, y := plan.Coord(id)
+		r := noc.NewRouter(id, fmt.Sprintf("fbfly.r%d_%d", x, y), p.PipeDelay, nil, rn.StatsRef())
+		rowOut[i] = make([]int, plan.Cols)
+		colOut[i] = make([]int, plan.Rows)
+		for tx := 0; tx < plan.Cols; tx++ {
+			rowOut[i][tx] = -1
+			if tx == x {
+				continue
+			}
+			dist := abs(tx - x)
+			depth := int(FBflyLinkDelay(dist, p.TilesPerCycle)) + p.BufSlack
+			r.AddIn(fmt.Sprintf("x%d", tx), depth)
+			rowOut[i][tx] = r.AddOut(fmt.Sprintf("x%d", tx))
+		}
+		for ty := 0; ty < plan.Rows; ty++ {
+			colOut[i][ty] = -1
+			if ty == y {
+				continue
+			}
+			dist := abs(ty - y)
+			depth := int(FBflyLinkDelay(dist, p.TilesPerCycle)) + p.BufSlack
+			r.AddIn(fmt.Sprintf("y%d", ty), depth)
+			colOut[i][ty] = r.AddOut(fmt.Sprintf("y%d", ty))
+		}
+		localIn[i] = r.AddIn("local", p.BufSlack)
+		localOut[i] = r.AddOut("local")
+		routers[i] = r
+	}
+
+	// Auxiliary endpoints on dedicated ports.
+	auxOut := make(map[int]map[int]int)
+	auxIn := make(map[int]map[int]int)
+	for k, tile := range p.AuxTiles {
+		r := routers[int(tile)]
+		if auxOut[int(tile)] == nil {
+			auxOut[int(tile)] = map[int]int{}
+			auxIn[int(tile)] = map[int]int{}
+		}
+		auxIn[int(tile)][k] = r.AddIn(fmt.Sprintf("aux%d", k), p.BufSlack)
+		auxOut[int(tile)][k] = r.AddOut(fmt.Sprintf("aux%d", k))
+	}
+
+	// Routing: X dimension first, then Y, then eject — at most 2 hops.
+	for i := 0; i < n; i++ {
+		i := i
+		x, y := plan.Coord(noc.NodeID(i))
+		routers[i].SetRoute(func(pk *noc.Packet) int {
+			dst := pk.Dst
+			if int(dst) >= n {
+				k := int(dst) - n
+				tile := p.AuxTiles[k]
+				if int(tile) == i {
+					return auxOut[i][k]
+				}
+				dst = tile
+			}
+			dx, dy := plan.Coord(dst)
+			switch {
+			case dx != x:
+				return rowOut[i][dx]
+			case dy != y:
+				return colOut[i][dy]
+			default:
+				return localOut[i]
+			}
+		})
+	}
+
+	// Input port indices mirror output construction order: row ports for
+	// every tx != x (ascending), then column ports for every ty != y, then
+	// local.
+	inRow := func(i, tx int) int {
+		x, _ := plan.Coord(noc.NodeID(i))
+		idx := 0
+		for t := 0; t < plan.Cols; t++ {
+			if t == x {
+				continue
+			}
+			if t == tx {
+				return idx
+			}
+			idx++
+		}
+		panic("topo: fbfly row input not found")
+	}
+	inCol := func(i, ty int) int {
+		x, y := plan.Coord(noc.NodeID(i))
+		_ = x
+		idx := plan.Cols - 1
+		for t := 0; t < plan.Rows; t++ {
+			if t == y {
+				continue
+			}
+			if t == ty {
+				return idx
+			}
+			idx++
+		}
+		panic("topo: fbfly col input not found")
+	}
+
+	for i := 0; i < n; i++ {
+		x, y := plan.Coord(noc.NodeID(i))
+		// Row links toward higher x (the reverse direction is wired from
+		// the peer's iteration).
+		for tx := x + 1; tx < plan.Cols; tx++ {
+			j := int(plan.Node(tx, y))
+			dist := tx - x
+			delay := FBflyLinkDelay(dist, p.TilesPerCycle)
+			lenMM := float64(dist) * plan.TileW
+			noc.Connect(routers[i], rowOut[i][tx], routers[j], inRow(j, x), delay, lenMM)
+			noc.Connect(routers[j], rowOut[j][x], routers[i], inRow(i, tx), delay, lenMM)
+		}
+		for ty := y + 1; ty < plan.Rows; ty++ {
+			j := int(plan.Node(x, ty))
+			dist := ty - y
+			delay := FBflyLinkDelay(dist, p.TilesPerCycle)
+			lenMM := float64(dist) * plan.TileH
+			noc.Connect(routers[i], colOut[i][ty], routers[j], inCol(j, y), delay, lenMM)
+			noc.Connect(routers[j], colOut[j][y], routers[i], inCol(i, ty), delay, lenMM)
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		ni := noc.NewNI(noc.NodeID(i), rn.StatsRef())
+		noc.ConnectNI(ni, routers[i], localIn[i], localOut[i], 1, 1, p.EjectBuf)
+		rn.NIs[i] = ni
+	}
+	for k, tile := range p.AuxTiles {
+		ni := noc.NewNI(noc.NodeID(n+k), rn.StatsRef())
+		noc.ConnectNI(ni, routers[int(tile)], auxIn[int(tile)][k], auxOut[int(tile)][k], 1, 1, p.EjectBuf)
+		rn.NIs[n+k] = ni
+	}
+	rn.Routers = routers
+	return rn
+}

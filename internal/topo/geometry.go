@@ -1,0 +1,94 @@
+// Package topo builds the conventional interconnect organizations the paper
+// evaluates against: the tiled mesh (Figure 2), the richly connected
+// flattened butterfly (Figure 3), and the idealized wire-delay-only fabric
+// used in Figure 1. It also owns the chip floorplan geometry that converts
+// tile positions into wire lengths and cycles.
+package topo
+
+import (
+	"fmt"
+	"math"
+
+	"nocout/internal/noc"
+	"nocout/internal/sim"
+	"nocout/internal/tech"
+)
+
+// Floorplan describes a rectangular grid of tiles and their physical size.
+type Floorplan struct {
+	Cols, Rows   int
+	TileW, TileH float64 // mm
+}
+
+// GridFor returns a near-square cols×rows arrangement for n tiles.
+// n must be a power of two (the paper's configurations are).
+func GridFor(n int) (cols, rows int) {
+	if n < 1 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("topo: tile count %d is not a positive power of two", n))
+	}
+	cols, rows = 1, 1
+	for cols*rows < n {
+		if cols <= rows {
+			cols *= 2
+		} else {
+			rows *= 2
+		}
+	}
+	return cols, rows
+}
+
+// TiledFloorplan builds the floorplan of a conventional tiled CMP with
+// nTiles tiles, each holding a core, an LLC slice of llcMB/nTiles, and a
+// router (Figure 2b). Tiles are square-ish: the tile area comes from the
+// §5.2 component areas.
+func TiledFloorplan(nTiles int, llcMB float64) Floorplan {
+	cols, rows := GridFor(nTiles)
+	tileArea := tech.CoreMM2 + llcMB/float64(nTiles)*tech.CacheMM2PerMB
+	side := math.Sqrt(tileArea)
+	return Floorplan{Cols: cols, Rows: rows, TileW: side, TileH: side}
+}
+
+// NumTiles returns Cols*Rows.
+func (f Floorplan) NumTiles() int { return f.Cols * f.Rows }
+
+// Coord returns the (x, y) grid position of node n (row-major numbering).
+func (f Floorplan) Coord(n noc.NodeID) (x, y int) {
+	i := int(n)
+	if i < 0 || i >= f.NumTiles() {
+		panic(fmt.Sprintf("topo: node %d outside %dx%d grid", n, f.Cols, f.Rows))
+	}
+	return i % f.Cols, i / f.Cols
+}
+
+// Node returns the NodeID at grid position (x, y).
+func (f Floorplan) Node(x, y int) noc.NodeID { return noc.NodeID(y*f.Cols + x) }
+
+// DistMM returns the Manhattan center-to-center distance between two tiles.
+func (f Floorplan) DistMM(a, b noc.NodeID) float64 {
+	ax, ay := f.Coord(a)
+	bx, by := f.Coord(b)
+	return math.Abs(float64(ax-bx))*f.TileW + math.Abs(float64(ay-by))*f.TileH
+}
+
+// HopsMesh returns the Manhattan hop distance between two tiles.
+func (f Floorplan) HopsMesh(a, b noc.NodeID) int {
+	ax, ay := f.Coord(a)
+	bx, by := f.Coord(b)
+	return abs(ax-bx) + abs(ay-by)
+}
+
+// WireCyclesBetween returns the latched wire delay between two tile
+// centers at the technology's 125 ps/mm.
+func (f Floorplan) WireCyclesBetween(a, b noc.NodeID) sim.Cycle {
+	if a == b {
+		return 1
+	}
+	return sim.Cycle(tech.WireCycles(f.DistMM(a, b)))
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

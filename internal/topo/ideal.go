@@ -1,0 +1,93 @@
+package topo
+
+import (
+	"fmt"
+
+	"nocout/internal/noc"
+	"nocout/internal/sim"
+)
+
+// Ideal is the idealized interconnect of Figure 1: only wire delay is
+// exposed — routing, arbitration, switching and buffering take zero time —
+// and bandwidth is unbounded. Delivery latency between two nodes is the
+// latched wire delay between their tile centers.
+type Ideal struct {
+	plan    Floorplan
+	delay   func(src, dst noc.NodeID) sim.Cycle
+	deliver []func(now sim.Cycle, p *noc.Packet)
+	sched   map[sim.Cycle][]*noc.Packet
+	stats   noc.Stats
+}
+
+// NewIdeal builds an ideal fabric over the floorplan. auxTiles appends
+// auxiliary endpoints (node NumTiles+k lives at tile auxTiles[k]).
+func NewIdeal(plan Floorplan, auxTiles ...noc.NodeID) *Ideal {
+	n := plan.NumTiles()
+	delay := func(src, dst noc.NodeID) sim.Cycle {
+		if int(src) >= n {
+			src = auxTiles[int(src)-n]
+		}
+		if int(dst) >= n {
+			dst = auxTiles[int(dst)-n]
+		}
+		return plan.WireCyclesBetween(src, dst)
+	}
+	return &Ideal{
+		plan:    plan,
+		delay:   delay,
+		deliver: make([]func(now sim.Cycle, p *noc.Packet), n+len(auxTiles)),
+		sched:   make(map[sim.Cycle][]*noc.Packet),
+	}
+}
+
+// NewIdealWithDelay builds an ideal fabric with a custom delay function
+// over n nodes (used by NOC-Out's idealized comparisons and tests).
+func NewIdealWithDelay(n int, delay func(src, dst noc.NodeID) sim.Cycle) *Ideal {
+	return &Ideal{
+		delay:   delay,
+		deliver: make([]func(now sim.Cycle, p *noc.Packet), n),
+		sched:   make(map[sim.Cycle][]*noc.Packet),
+	}
+}
+
+// Send implements noc.Network.
+func (id *Ideal) Send(now sim.Cycle, p *noc.Packet) {
+	p.InjectedAt = now
+	id.stats.Injected++
+	d := id.delay(p.Src, p.Dst)
+	if d < 1 {
+		d = 1
+	}
+	// Serialization still exists on an ideal fabric: the tail arrives
+	// Size-1 cycles after the head at one flit per cycle.
+	at := now + d + sim.Cycle(p.Size-1)
+	id.sched[at] = append(id.sched[at], p)
+}
+
+// SetDeliver implements noc.Network.
+func (id *Ideal) SetDeliver(n noc.NodeID, fn func(now sim.Cycle, p *noc.Packet)) {
+	id.deliver[n] = fn
+}
+
+// Stats implements noc.Network.
+func (id *Ideal) Stats() *noc.Stats { return &id.stats }
+
+// Tick delivers every packet scheduled for this cycle.
+func (id *Ideal) Tick(now sim.Cycle) {
+	ps, ok := id.sched[now]
+	if !ok {
+		return
+	}
+	delete(id.sched, now)
+	for _, p := range ps {
+		p.DeliveredAt = now
+		id.stats.RecordDelivery(p)
+		fn := id.deliver[p.Dst]
+		if fn == nil {
+			panic(fmt.Sprintf("topo: ideal: node %d has no delivery callback", p.Dst))
+		}
+		fn(now, p)
+	}
+}
+
+var _ noc.Network = (*Ideal)(nil)

@@ -1,0 +1,172 @@
+package topo
+
+import (
+	"fmt"
+
+	"nocout/internal/noc"
+	"nocout/internal/sim"
+)
+
+// MeshParams configures the baseline tiled mesh of §5.1: 5-port routers,
+// 3 VCs/port, 5 flits/VC, 2-stage speculative pipeline, 1-cycle links —
+// 3 cycles per hop at zero load.
+type MeshParams struct {
+	Plan      Floorplan
+	BufFlits  int       // flits per VC per input port (default 5)
+	PipeDelay sim.Cycle // router pipeline (default 2)
+	LinkDelay sim.Cycle // per-hop link traversal (default 1)
+	EjectBuf  int       // NI eject buffering per VC (default 8)
+
+	// AuxTiles attaches auxiliary endpoints (memory controllers and other
+	// off-die interfaces) through dedicated router ports. The k-th entry
+	// is the tile whose router hosts aux node NumTiles+k.
+	AuxTiles []noc.NodeID
+}
+
+// DefaultMeshParams returns the Table 1 mesh configuration on plan.
+func DefaultMeshParams(plan Floorplan) MeshParams {
+	return MeshParams{Plan: plan, BufFlits: 5, PipeDelay: 2, LinkDelay: 1, EjectBuf: 8}
+}
+
+// Mesh port layout: outputs/inputs 0..3 are N, E, S, W (present only when
+// the neighbour exists), and the last is the local/NI port.
+const (
+	dirN = iota
+	dirE
+	dirS
+	dirW
+)
+
+// NewMesh builds a 2-D mesh with XY dimension-order routing.
+func NewMesh(p MeshParams) *noc.RouterNetwork {
+	plan := p.Plan
+	n := plan.NumTiles()
+	rn := noc.NewRouterNetwork(fmt.Sprintf("mesh%dx%d", plan.Cols, plan.Rows), n+len(p.AuxTiles))
+	routers := make([]*noc.Router, n)
+	// outIdx[node][dir] is the output-port index for that direction;
+	// -1 when the neighbour does not exist. Local port index is stored at
+	// localOut[node].
+	outIdx := make([][4]int, n)
+	localOut := make([]int, n)
+	localInPort := make([]int, n)
+
+	for i := 0; i < n; i++ {
+		id := noc.NodeID(i)
+		x, y := plan.Coord(id)
+		r := noc.NewRouter(id, fmt.Sprintf("mesh.r%d_%d", x, y), p.PipeDelay, nil, rn.StatsRef())
+		for d := 0; d < 4; d++ {
+			outIdx[i][d] = -1
+		}
+		for d, ok := range meshNeighbors(plan, x, y) {
+			if !ok {
+				continue
+			}
+			r.AddIn(dirName(d), p.BufFlits)
+			outIdx[i][d] = r.AddOut(dirName(d))
+		}
+		localInPort[i] = r.AddIn("local", p.BufFlits)
+		localOut[i] = r.AddOut("local")
+		routers[i] = r
+	}
+
+	// Auxiliary endpoints: dedicated ports on their host routers.
+	auxOut := make(map[int]map[int]int) // router -> aux index -> out port
+	auxIn := make(map[int]map[int]int)
+	for k, tile := range p.AuxTiles {
+		r := routers[int(tile)]
+		if auxOut[int(tile)] == nil {
+			auxOut[int(tile)] = map[int]int{}
+			auxIn[int(tile)] = map[int]int{}
+		}
+		auxIn[int(tile)][k] = r.AddIn(fmt.Sprintf("aux%d", k), p.BufFlits)
+		auxOut[int(tile)][k] = r.AddOut(fmt.Sprintf("aux%d", k))
+	}
+
+	// Routing: X first, then Y, then eject (aux nodes route toward their
+	// host tile, then out the dedicated port).
+	for i := 0; i < n; i++ {
+		i := i
+		x, y := plan.Coord(noc.NodeID(i))
+		routers[i].SetRoute(func(pk *noc.Packet) int {
+			dst := pk.Dst
+			if int(dst) >= n {
+				k := int(dst) - n
+				tile := p.AuxTiles[k]
+				if int(tile) == i {
+					return auxOut[i][k]
+				}
+				dst = tile
+			}
+			dx, dy := plan.Coord(dst)
+			switch {
+			case dx > x:
+				return outIdx[i][dirE]
+			case dx < x:
+				return outIdx[i][dirW]
+			case dy > y:
+				return outIdx[i][dirS]
+			case dy < y:
+				return outIdx[i][dirN]
+			default:
+				return localOut[i]
+			}
+		})
+	}
+
+	// Wire neighbouring routers. Input-port indices mirror output-port
+	// construction order, so recompute them the same way.
+	inIdx := make([][4]int, n)
+	for i := 0; i < n; i++ {
+		x, y := plan.Coord(noc.NodeID(i))
+		idx := 0
+		for d := 0; d < 4; d++ {
+			inIdx[i][d] = -1
+			if meshNeighbors(plan, x, y)[d] {
+				inIdx[i][d] = idx
+				idx++
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		x, y := plan.Coord(noc.NodeID(i))
+		if outIdx[i][dirE] >= 0 {
+			j := int(plan.Node(x+1, y))
+			lenMM := plan.TileW
+			noc.Connect(routers[i], outIdx[i][dirE], routers[j], inIdx[j][dirW], p.LinkDelay, lenMM)
+			noc.Connect(routers[j], outIdx[j][dirW], routers[i], inIdx[i][dirE], p.LinkDelay, lenMM)
+		}
+		if outIdx[i][dirS] >= 0 {
+			j := int(plan.Node(x, y+1))
+			lenMM := plan.TileH
+			noc.Connect(routers[i], outIdx[i][dirS], routers[j], inIdx[j][dirN], p.LinkDelay, lenMM)
+			noc.Connect(routers[j], outIdx[j][dirN], routers[i], inIdx[i][dirS], p.LinkDelay, lenMM)
+		}
+	}
+
+	// NIs on the local ports.
+	for i := 0; i < n; i++ {
+		ni := noc.NewNI(noc.NodeID(i), rn.StatsRef())
+		localIn := localInPort[i]
+		noc.ConnectNI(ni, routers[i], localIn, localOut[i], 1, 1, p.EjectBuf)
+		rn.NIs[i] = ni
+	}
+	for k, tile := range p.AuxTiles {
+		ni := noc.NewNI(noc.NodeID(n+k), rn.StatsRef())
+		noc.ConnectNI(ni, routers[int(tile)], auxIn[int(tile)][k], auxOut[int(tile)][k], 1, 1, p.EjectBuf)
+		rn.NIs[n+k] = ni
+	}
+	rn.Routers = routers
+	return rn
+}
+
+// meshNeighbors reports which of N,E,S,W neighbours exist at (x, y).
+func meshNeighbors(plan Floorplan, x, y int) [4]bool {
+	return [4]bool{
+		dirN: y > 0,
+		dirE: x < plan.Cols-1,
+		dirS: y < plan.Rows-1,
+		dirW: x > 0,
+	}
+}
+
+func dirName(d int) string { return [...]string{"N", "E", "S", "W"}[d] }

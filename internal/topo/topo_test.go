@@ -1,0 +1,238 @@
+package topo
+
+import (
+	"math"
+	"testing"
+
+	"nocout/internal/noc"
+	"nocout/internal/sim"
+)
+
+func TestGridFor(t *testing.T) {
+	cases := map[int][2]int{
+		1: {1, 1}, 2: {2, 1}, 4: {2, 2}, 8: {4, 2},
+		16: {4, 4}, 32: {8, 4}, 64: {8, 8}, 128: {16, 8},
+	}
+	for n, want := range cases {
+		c, r := GridFor(n)
+		if c != want[0] || r != want[1] {
+			t.Errorf("GridFor(%d) = %dx%d, want %dx%d", n, c, r, want[0], want[1])
+		}
+	}
+}
+
+func TestGridForRejectsNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	GridFor(12)
+}
+
+func TestTiledFloorplanGeometry(t *testing.T) {
+	f := TiledFloorplan(64, 8)
+	if f.Cols != 8 || f.Rows != 8 {
+		t.Fatalf("plan %dx%d", f.Cols, f.Rows)
+	}
+	// Tile = 2.9 (core) + 0.125*3.2 (128KB LLC slice) = 3.3 mm².
+	wantSide := math.Sqrt(3.3)
+	if math.Abs(f.TileW-wantSide) > 1e-9 {
+		t.Fatalf("tile side %v, want %v", f.TileW, wantSide)
+	}
+	// Coordinates round-trip.
+	for i := 0; i < 64; i++ {
+		x, y := f.Coord(noc.NodeID(i))
+		if f.Node(x, y) != noc.NodeID(i) {
+			t.Fatalf("coord round trip failed for %d", i)
+		}
+	}
+	if f.HopsMesh(0, 63) != 14 {
+		t.Fatalf("corner-to-corner hops = %d, want 14", f.HopsMesh(0, 63))
+	}
+	if d := f.DistMM(0, 63); math.Abs(d-14*wantSide) > 1e-9 {
+		t.Fatalf("corner distance = %v", d)
+	}
+}
+
+// sendAndWait injects a packet and runs until delivery, returning it.
+func sendAndWait(t *testing.T, net noc.Network, src, dst noc.NodeID, size int) *noc.Packet {
+	t.Helper()
+	e := sim.NewEngine()
+	e.Register(net)
+	var got *noc.Packet
+	net.SetDeliver(dst, func(now sim.Cycle, p *noc.Packet) { got = p })
+	p := &noc.Packet{ID: 1, Class: noc.ClassReq, Src: src, Dst: dst, Size: size}
+	net.Send(e.Now(), p)
+	if !e.RunUntil(func() bool { return got != nil }, 10000) {
+		t.Fatalf("packet %d->%d never delivered", src, dst)
+	}
+	return got
+}
+
+func TestMeshZeroLoadLatency(t *testing.T) {
+	plan := TiledFloorplan(64, 8)
+	m := NewMesh(DefaultMeshParams(plan))
+	// 0 -> 63 is 14 hops; per-hop 3 cycles at zero load, plus one extra
+	// router traversal (the destination router) and NI wiring overheads.
+	p := sendAndWait(t, m, 0, 63, 1)
+	if p.Hops() != 15 {
+		t.Fatalf("router traversals = %d, want 15", p.Hops())
+	}
+	// Budget: inject tick 1 + wire 1 + 15 routers × (SA + pipe2+link1)
+	// with the final hop's link being the 1-cycle eject wire.
+	want := sim.Cycle(1 + 1 + 15*3)
+	if p.Latency() != want {
+		t.Fatalf("zero-load latency = %d, want %d", p.Latency(), want)
+	}
+}
+
+func TestMeshNeighborLatency(t *testing.T) {
+	plan := TiledFloorplan(64, 8)
+	m := NewMesh(DefaultMeshParams(plan))
+	p := sendAndWait(t, m, 0, 1, 1)
+	if p.Hops() != 2 {
+		t.Fatalf("hops = %d, want 2", p.Hops())
+	}
+}
+
+func TestMeshXYRoutingDeliversAllPairs(t *testing.T) {
+	plan := TiledFloorplan(16, 8)
+	m := NewMesh(DefaultMeshParams(plan))
+	e := sim.NewEngine()
+	e.Register(m)
+	delivered := 0
+	for i := 0; i < 16; i++ {
+		m.SetDeliver(noc.NodeID(i), func(now sim.Cycle, p *noc.Packet) { delivered++ })
+	}
+	sent := 0
+	for s := 0; s < 16; s++ {
+		for d := 0; d < 16; d++ {
+			if s == d {
+				continue
+			}
+			m.Send(e.Now(), &noc.Packet{ID: uint64(sent), Class: noc.ClassResp, Src: noc.NodeID(s), Dst: noc.NodeID(d), Size: 5})
+			sent++
+		}
+	}
+	if !e.RunUntil(func() bool { return delivered == sent }, 100000) {
+		t.Fatalf("delivered %d/%d", delivered, sent)
+	}
+}
+
+func TestFBflyPortCount(t *testing.T) {
+	plan := TiledFloorplan(64, 8)
+	f := NewFBfly(DefaultFBflyParams(plan))
+	// §5.1: each FBfly router has 14 network ports (7 per dimension) plus
+	// a local port = 15.
+	for _, r := range f.Routers {
+		if r.NumIn() != 15 || r.NumOut() != 15 {
+			t.Fatalf("router %s has %d in / %d out ports, want 15/15", r.Name, r.NumIn(), r.NumOut())
+		}
+	}
+}
+
+func TestFBflyAtMostTwoNetworkHops(t *testing.T) {
+	plan := TiledFloorplan(64, 8)
+	f := NewFBfly(DefaultFBflyParams(plan))
+	// Diagonal corner-to-corner: two network hops + destination router.
+	p := sendAndWait(t, f, 0, 63, 1)
+	if p.Hops() != 3 {
+		t.Fatalf("hops = %d, want 3 (X hop, Y hop, eject router)", p.Hops())
+	}
+	// Same row: single network hop + destination router.
+	f2 := NewFBfly(DefaultFBflyParams(plan))
+	p2 := sendAndWait(t, f2, 0, 7, 1)
+	if p2.Hops() != 2 {
+		t.Fatalf("same-row hops = %d, want 2", p2.Hops())
+	}
+}
+
+func TestFBflyFasterThanMeshAcrossChip(t *testing.T) {
+	plan := TiledFloorplan(64, 8)
+	m := NewMesh(DefaultMeshParams(plan))
+	f := NewFBfly(DefaultFBflyParams(plan))
+	pm := sendAndWait(t, m, 0, 63, 5)
+	pf := sendAndWait(t, f, 0, 63, 5)
+	if pf.Latency() >= pm.Latency() {
+		t.Fatalf("fbfly (%d) should beat mesh (%d) corner to corner", pf.Latency(), pm.Latency())
+	}
+}
+
+func TestFBflyLinkDelay(t *testing.T) {
+	cases := []struct{ dist, want int }{{1, 1}, {2, 1}, {3, 2}, {7, 4}}
+	for _, c := range cases {
+		if got := FBflyLinkDelay(c.dist, 2); got != sim.Cycle(c.want) {
+			t.Errorf("FBflyLinkDelay(%d) = %d, want %d", c.dist, got, c.want)
+		}
+	}
+}
+
+func TestFBflyAllPairsDeliver(t *testing.T) {
+	plan := TiledFloorplan(16, 8)
+	f := NewFBfly(DefaultFBflyParams(plan))
+	e := sim.NewEngine()
+	e.Register(f)
+	delivered := 0
+	for i := 0; i < 16; i++ {
+		f.SetDeliver(noc.NodeID(i), func(now sim.Cycle, p *noc.Packet) { delivered++ })
+	}
+	sent := 0
+	for s := 0; s < 16; s++ {
+		for d := 0; d < 16; d++ {
+			if s == d {
+				continue
+			}
+			f.Send(e.Now(), &noc.Packet{ID: uint64(sent), Class: noc.ClassReq, Src: noc.NodeID(s), Dst: noc.NodeID(d), Size: 1})
+			sent++
+		}
+	}
+	if !e.RunUntil(func() bool { return delivered == sent }, 100000) {
+		t.Fatalf("delivered %d/%d", delivered, sent)
+	}
+}
+
+func TestIdealLatencyIsWireOnly(t *testing.T) {
+	plan := TiledFloorplan(64, 8)
+	id := NewIdeal(plan)
+	p := sendAndWait(t, id, 0, 63, 1)
+	want := plan.WireCyclesBetween(0, 63)
+	if p.Latency() != want {
+		t.Fatalf("ideal latency = %d, want %d", p.Latency(), want)
+	}
+	// Ideal is much faster than a mesh across the die.
+	m := NewMesh(DefaultMeshParams(plan))
+	pm := sendAndWait(t, m, 0, 63, 1)
+	if p.Latency() >= pm.Latency()/3 {
+		t.Fatalf("ideal (%d) should be far below mesh (%d)", p.Latency(), pm.Latency())
+	}
+}
+
+func TestIdealSerialization(t *testing.T) {
+	plan := TiledFloorplan(4, 8)
+	id := NewIdeal(plan)
+	p1 := sendAndWait(t, id, 0, 3, 1)
+	id2 := NewIdeal(plan)
+	p5 := sendAndWait(t, id2, 0, 3, 5)
+	if p5.Latency() != p1.Latency()+4 {
+		t.Fatalf("serialization: size5=%d size1=%d", p5.Latency(), p1.Latency())
+	}
+}
+
+func TestIdealUnboundedBandwidth(t *testing.T) {
+	plan := TiledFloorplan(16, 8)
+	id := NewIdeal(plan)
+	e := sim.NewEngine()
+	e.Register(id)
+	n := 0
+	id.SetDeliver(1, func(now sim.Cycle, p *noc.Packet) { n++ })
+	const burst = 1000
+	for i := 0; i < burst; i++ {
+		id.Send(e.Now(), &noc.Packet{ID: uint64(i), Class: noc.ClassReq, Src: 0, Dst: 1, Size: 1})
+	}
+	want := plan.WireCyclesBetween(0, 1)
+	e.Step(want + 1)
+	if n != burst {
+		t.Fatalf("ideal should deliver the whole burst at once: %d/%d", n, burst)
+	}
+}

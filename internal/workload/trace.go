@@ -1,0 +1,141 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"nocout/internal/cpu"
+)
+
+// This file provides instruction-trace recording and replay: a generator's
+// stream can be captured once and replayed deterministically, which is how
+// users plug their own traces (e.g. converted from real workload captures)
+// into the simulator in place of the synthetic generators.
+//
+// Format: a small header, then one record per instruction:
+//
+//	kind   uvarint (0 ALU, 1 load, 2 store)
+//	iaddr  varint delta from the previous instruction address
+//	daddr  uvarint (loads/stores only)
+
+// traceMagic identifies the trace format.
+var traceMagic = [4]byte{'N', 'O', 'C', '1'}
+
+// WriteTrace records n instructions from stream to w.
+func WriteTrace(w io.Writer, stream cpu.Stream, n int) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(traceMagic[:]); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putU := func(v uint64) error {
+		k := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:k])
+		return err
+	}
+	putI := func(v int64) error {
+		k := binary.PutVarint(buf[:], v)
+		_, err := bw.Write(buf[:k])
+		return err
+	}
+	if err := putU(uint64(n)); err != nil {
+		return err
+	}
+	prev := int64(0)
+	for i := 0; i < n; i++ {
+		in := stream.Next()
+		if err := putU(uint64(in.Kind)); err != nil {
+			return err
+		}
+		if err := putI(int64(in.IAddr) - prev); err != nil {
+			return err
+		}
+		prev = int64(in.IAddr)
+		if in.Kind != cpu.KindALU {
+			if err := putU(in.DAddr); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Trace is a decoded instruction trace.
+type Trace struct {
+	Instrs []cpu.Instr
+}
+
+// ReadTrace decodes a trace written by WriteTrace.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("workload: reading trace header: %w", err)
+	}
+	if magic != traceMagic {
+		return nil, errors.New("workload: not a NOC1 trace")
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading trace length: %w", err)
+	}
+	const maxTrace = 1 << 28 // defensive cap: 256M instructions
+	if n > maxTrace {
+		return nil, fmt.Errorf("workload: trace length %d exceeds cap", n)
+	}
+	t := &Trace{Instrs: make([]cpu.Instr, 0, n)}
+	prev := int64(0)
+	for i := uint64(0); i < n; i++ {
+		kind, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("workload: record %d kind: %w", i, err)
+		}
+		if kind > uint64(cpu.KindStore) {
+			return nil, fmt.Errorf("workload: record %d has invalid kind %d", i, kind)
+		}
+		delta, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("workload: record %d iaddr: %w", i, err)
+		}
+		prev += delta
+		in := cpu.Instr{Kind: cpu.InstrKind(kind), IAddr: uint64(prev)}
+		if in.Kind != cpu.KindALU {
+			d, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("workload: record %d daddr: %w", i, err)
+			}
+			in.DAddr = d
+		}
+		t.Instrs = append(t.Instrs, in)
+	}
+	return t, nil
+}
+
+// Len returns the trace length in instructions.
+func (t *Trace) Len() int { return len(t.Instrs) }
+
+// Stream returns a cpu.Stream that replays the trace, looping at the end
+// (cores need an endless stream).
+func (t *Trace) Stream() cpu.Stream {
+	if len(t.Instrs) == 0 {
+		panic("workload: empty trace cannot be replayed")
+	}
+	return &replay{t: t}
+}
+
+type replay struct {
+	t *Trace
+	i int
+}
+
+func (r *replay) Next() cpu.Instr {
+	in := r.t.Instrs[r.i]
+	r.i++
+	if r.i == len(r.t.Instrs) {
+		r.i = 0
+	}
+	return in
+}

@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"nocout/internal/cpu"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	g := NewGenerator(DataServing, 5, 17)
+	ref := NewGenerator(DataServing, 5, 17)
+
+	var buf bytes.Buffer
+	const n = 5000
+	if err := WriteTrace(&buf, g, n); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != n {
+		t.Fatalf("trace length = %d, want %d", tr.Len(), n)
+	}
+	for i, in := range tr.Instrs {
+		want := ref.Next()
+		if in != want {
+			t.Fatalf("record %d: %+v != %+v", i, in, want)
+		}
+	}
+}
+
+func TestTraceReplayLoops(t *testing.T) {
+	tr := &Trace{Instrs: []cpu.Instr{
+		{Kind: cpu.KindALU, IAddr: 0},
+		{Kind: cpu.KindLoad, IAddr: 4, DAddr: 100},
+	}}
+	s := tr.Stream()
+	for round := 0; round < 3; round++ {
+		if got := s.Next(); got != tr.Instrs[0] {
+			t.Fatalf("round %d first = %+v", round, got)
+		}
+		if got := s.Next(); got != tr.Instrs[1] {
+			t.Fatalf("round %d second = %+v", round, got)
+		}
+	}
+}
+
+func TestTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadTrace(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Fatal("bad magic must error")
+	}
+	if _, err := ReadTrace(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input must error")
+	}
+	// Truncated body.
+	g := NewGenerator(WebSearch, 0, 1)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, g, 100); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := ReadTrace(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated trace must error")
+	}
+}
+
+func TestEmptyTracePanicsOnReplay(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	(&Trace{}).Stream()
+}
+
+func TestTracePropertyArbitraryStreams(t *testing.T) {
+	// Any synthetic stream round-trips exactly.
+	err := quick.Check(func(seed uint64, core uint8, nRaw uint16) bool {
+		n := int(nRaw%500) + 1
+		g := NewGenerator(MapReduceW, int(core%64), seed)
+		ref := NewGenerator(MapReduceW, int(core%64), seed)
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, g, n); err != nil {
+			return false
+		}
+		tr, err := ReadTrace(&buf)
+		if err != nil || tr.Len() != n {
+			return false
+		}
+		for _, in := range tr.Instrs {
+			if in != ref.Next() {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

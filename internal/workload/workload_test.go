@@ -1,0 +1,211 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"nocout/internal/cpu"
+)
+
+func TestSuiteCompleteness(t *testing.T) {
+	all := All()
+	if len(all) != 6 {
+		t.Fatalf("suite has %d workloads, want 6", len(all))
+	}
+	names := map[string]bool{}
+	for _, w := range all {
+		if names[w.Name] {
+			t.Fatalf("duplicate workload %q", w.Name)
+		}
+		names[w.Name] = true
+		// §2.1 traits every workload must exhibit.
+		if w.InstrFootprint < 1<<20 {
+			t.Errorf("%s: instruction footprint %d below a megabyte", w.Name, w.InstrFootprint)
+		}
+		if w.InstrFootprint > 8<<20 {
+			t.Errorf("%s: instruction footprint must fit the 8MB LLC", w.Name)
+		}
+		if w.DatasetB < 64<<20 {
+			t.Errorf("%s: dataset %d is not 'vast'", w.Name, w.DatasetB)
+		}
+		if w.LoadFrac+w.StoreFrac >= 1 {
+			t.Errorf("%s: memory fractions exceed 1", w.Name)
+		}
+		if w.MaxCores != 64 && w.MaxCores != 16 {
+			t.Errorf("%s: MaxCores = %d", w.Name, w.MaxCores)
+		}
+	}
+	// §5.3: exactly two workloads are limited to 16 cores.
+	limited := 0
+	for _, w := range all {
+		if w.MaxCores == 16 {
+			limited++
+		}
+	}
+	if limited != 2 {
+		t.Fatalf("16-core-limited workloads = %d, want 2 (Web Frontend, Web Search)", limited)
+	}
+}
+
+func TestByName(t *testing.T) {
+	w, err := ByName("Web Search")
+	if err != nil || w.MaxCores != 16 {
+		t.Fatalf("ByName: %v %+v", err, w)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown name must error")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a := NewGenerator(DataServing, 3, 42)
+	b := NewGenerator(DataServing, 3, 42)
+	for i := 0; i < 1000; i++ {
+		x, y := a.Next(), b.Next()
+		if x != y {
+			t.Fatalf("streams diverge at %d: %+v vs %+v", i, x, y)
+		}
+	}
+	c := NewGenerator(DataServing, 4, 42)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Next() == c.Next() {
+			same++
+		}
+	}
+	if same > 100 {
+		t.Fatalf("different cores produced %d/1000 identical instructions", same)
+	}
+}
+
+func TestInstructionAddressesStayInSharedFootprint(t *testing.T) {
+	for _, w := range All() {
+		g := NewGenerator(w, 7, 1)
+		for i := 0; i < 20000; i++ {
+			in := g.Next()
+			if in.IAddr >= w.InstrFootprint {
+				t.Fatalf("%s: instruction address %#x outside footprint %#x", w.Name, in.IAddr, w.InstrFootprint)
+			}
+		}
+	}
+}
+
+func TestDataAddressRegions(t *testing.T) {
+	w := MapReduceC
+	g := NewGenerator(w, 2, 9)
+	var hot, private, mem int
+	for i := 0; i < 200000; i++ {
+		in := g.Next()
+		if in.Kind == cpu.KindALU {
+			continue
+		}
+		mem++
+		switch {
+		case in.DAddr >= 0x0040_0000_0000 && in.DAddr < 0x0040_0000_0000+w.HotB:
+			hot++
+		case in.DAddr >= 0x0100_0000_0000+2*0x0001_0000_0000 &&
+			in.DAddr < 0x0100_0000_0000+2*0x0001_0000_0000+w.DatasetB:
+			private++
+		default:
+			t.Fatalf("address %#x in no known region", in.DAddr)
+		}
+	}
+	if hot == 0 || private == 0 {
+		t.Fatalf("hot=%d private=%d: both regions must be exercised", hot, private)
+	}
+	if float64(private) < float64(mem)*0.8 {
+		t.Fatalf("private accesses %d/%d: dataset must dominate", private, mem)
+	}
+}
+
+func TestMemoryMixMatchesFractions(t *testing.T) {
+	w := WebFrontend
+	g := NewGenerator(w, 0, 5)
+	var loads, stores, total int
+	for i := 0; i < 100000; i++ {
+		in := g.Next()
+		total++
+		switch in.Kind {
+		case cpu.KindLoad:
+			loads++
+		case cpu.KindStore:
+			stores++
+		}
+	}
+	lf := float64(loads) / float64(total)
+	sf := float64(stores) / float64(total)
+	if math.Abs(lf-w.LoadFrac) > 0.02 || math.Abs(sf-w.StoreFrac) > 0.02 {
+		t.Fatalf("mix: loads %.3f (want %.2f), stores %.3f (want %.2f)", lf, w.LoadFrac, sf, w.StoreFrac)
+	}
+}
+
+func TestControlFlowHasRunsAndJumps(t *testing.T) {
+	g := NewGenerator(SATSolver, 1, 11)
+	prev := g.Next().IAddr
+	var seq, jumps int
+	for i := 0; i < 50000; i++ {
+		in := g.Next()
+		if in.IAddr == prev+4 {
+			seq++
+		} else {
+			jumps++
+		}
+		prev = in.IAddr
+	}
+	if jumps == 0 {
+		t.Fatal("no jumps: control flow must be complex")
+	}
+	avgRun := float64(seq) / float64(jumps)
+	if avgRun < SATSolver.AvgRun*0.5 || avgRun > SATSolver.AvgRun*2 {
+		t.Fatalf("observed run length %.1f, parameter %.1f", avgRun, SATSolver.AvgRun)
+	}
+}
+
+func TestLocalJumpsRevisitFunctions(t *testing.T) {
+	// With high LocalJump, jump targets repeat (loops): the distinct
+	// target count stays far below the jump count.
+	g := NewGenerator(WebSearch, 0, 3)
+	targets := map[uint64]int{}
+	prev := g.Next().IAddr
+	jumps := 0
+	for i := 0; i < 100000; i++ {
+		in := g.Next()
+		if in.IAddr != prev+4 {
+			targets[in.IAddr]++
+			jumps++
+		}
+		prev = in.IAddr
+	}
+	if len(targets) >= jumps/2 {
+		t.Fatalf("targets %d vs jumps %d: no temporal locality", len(targets), jumps)
+	}
+}
+
+func TestCoreParamsDerivation(t *testing.T) {
+	cp := DataServing.CoreParams(99)
+	if cp.BaseCPI != DataServing.BaseCPI || cp.DepChance != DataServing.DepChance {
+		t.Fatal("CoreParams must carry the workload's ILP/MLP knobs")
+	}
+	if cp.Width != 3 || cp.ROB != 64 {
+		t.Fatal("CoreParams must keep the Table 1 pipeline shape")
+	}
+	if cp.Seed != 99 {
+		t.Fatal("seed not threaded")
+	}
+}
+
+func TestDataServingIsMostSerial(t *testing.T) {
+	// The paper singles out Data Serving for very low ILP and MLP; keep the
+	// calibration honoring that ordering.
+	for _, w := range All() {
+		if w.Name == DataServing.Name {
+			continue
+		}
+		if w.DepChance >= DataServing.DepChance {
+			t.Errorf("%s DepChance %.2f >= Data Serving's %.2f", w.Name, w.DepChance, DataServing.DepChance)
+		}
+		if w.BaseCPI > DataServing.BaseCPI {
+			t.Errorf("%s BaseCPI %.2f > Data Serving's %.2f", w.Name, w.BaseCPI, DataServing.BaseCPI)
+		}
+	}
+}

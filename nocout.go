@@ -1,0 +1,190 @@
+// Package nocout is a from-scratch reproduction of "NOC-Out:
+// Microarchitecting a Scale-Out Processor" (Lotfi-Kamran, Grot, Falsafi,
+// MICRO-45, 2012): a 64-core CMP timing simulator with interchangeable
+// interconnect organizations — the tiled mesh and flattened-butterfly
+// baselines, an idealized wire-only fabric, and the paper's NOC-Out
+// organization (reduction/dispersion trees feeding a segregated LLC row) —
+// plus the directory-coherent cache hierarchy, DDR3 memory channels,
+// CloudSuite-like synthetic scale-out workloads, and calibrated area/energy
+// models needed to regenerate every figure of the paper's evaluation.
+//
+// Quick start:
+//
+//	cfg := nocout.DefaultConfig(nocout.NOCOut)
+//	res, err := nocout.Run(cfg, "Web Search", nocout.Quick)
+//	fmt.Println(res)
+//
+// The Figure* functions regenerate the paper's evaluation; see
+// EXPERIMENTS.md for paper-vs-measured results.
+package nocout
+
+import (
+	"fmt"
+
+	"nocout/internal/chip"
+	"nocout/internal/core"
+	"nocout/internal/physic"
+	"nocout/internal/sim"
+	"nocout/internal/workload"
+)
+
+// Design selects the interconnect organization (§5.1).
+type Design = chip.Design
+
+// The evaluated organizations.
+const (
+	Mesh   = chip.Mesh
+	FBfly  = chip.FBfly
+	NOCOut = chip.NOCOut
+	Ideal  = chip.Ideal
+)
+
+// Config describes a CMP instance. The zero value is not valid; start from
+// DefaultConfig.
+type Config = chip.Config
+
+// NOCOutOrg configures the NOC-Out organization's scalability features
+// (§7.1); it is the type of Config.NOCOut.
+type NOCOutOrg = core.Config
+
+// DefaultConfig returns the paper's Table 1 64-core system for a design.
+func DefaultConfig(d Design) Config { return chip.DefaultConfig(d) }
+
+// Quality selects the simulation effort of an experiment.
+type Quality struct {
+	Warmup sim.Cycle
+	Window sim.Cycle
+	Seeds  int
+}
+
+// Standard effort levels. Quick is suitable for tests and benchmarks; Full
+// mirrors the paper's measurement windows.
+var (
+	Quick = Quality{Warmup: 12000, Window: 20000, Seeds: 1}
+	Full  = Quality{Warmup: 30000, Window: 50000, Seeds: 3}
+)
+
+// Workloads returns the names of the six evaluated scale-out workloads in
+// the paper's figure order.
+func Workloads() []string {
+	var names []string
+	for _, w := range workload.All() {
+		names = append(names, w.Name)
+	}
+	return names
+}
+
+// Result summarizes one measured run.
+type Result struct {
+	Design      Design
+	Workload    string
+	ActiveCores int
+
+	AggIPC     float64 // system throughput: committed instructions / cycle
+	PerCoreIPC float64
+
+	AvgNetLatency float64 // cycles, all message classes
+	SnoopRate     float64 // fraction of LLC accesses triggering a snoop
+	LLCMissRate   float64
+	L1IMPKI       float64
+	L1DMPKI       float64
+
+	NoCPower physic.Power
+}
+
+// String formats the headline numbers.
+func (r Result) String() string {
+	return fmt.Sprintf("%v / %s: %d cores, IPC %.2f (%.3f/core), net latency %.1f cy, snoop %.2f%%, NoC %.2f W",
+		r.Design, r.Workload, r.ActiveCores, r.AggIPC, r.PerCoreIPC,
+		r.AvgNetLatency, r.SnoopRate*100, r.NoCPower.Total())
+}
+
+// Run measures cfg under the named workload, averaging AggIPC over
+// q.Seeds independent runs.
+func Run(cfg Config, workloadName string, q Quality) (Result, error) {
+	w, err := workload.ByName(workloadName)
+	if err != nil {
+		return Result{}, err
+	}
+	return runW(cfg, w, q), nil
+}
+
+// RunUnlimited is Run with the workload's software scalability cap lifted
+// to the chip's core count, for §7.1-style scaling studies that assume
+// software able to use every core.
+func RunUnlimited(cfg Config, workloadName string, q Quality) (Result, error) {
+	w, err := workload.ByName(workloadName)
+	if err != nil {
+		return Result{}, err
+	}
+	w.MaxCores = cfg.Cores
+	return runW(cfg, w, q), nil
+}
+
+// runW is the internal entry point used by the experiment harness.
+func runW(cfg Config, w workload.Params, q Quality) Result {
+	var agg, lat, snoop, miss, impki, dmpki float64
+	var res Result
+	for s := 0; s < q.Seeds; s++ {
+		cfg.Seed = cfg.Seed + uint64(s)*7919
+		c := chip.New(cfg, w)
+		c.PrewarmCaches()
+		c.Warmup(q.Warmup)
+		c.Run(q.Window)
+		m := c.Metrics()
+		agg += m.AggIPC
+		lat += m.AvgNetLatency
+		snoop += m.Dir.SnoopRate()
+		miss += m.Dir.MissRate()
+		impki += m.L1IMPKI
+		dmpki += m.L1DMPKI
+		if s == 0 {
+			res = Result{
+				Design:      cfg.Design,
+				Workload:    w.Name,
+				ActiveCores: m.ActiveCores,
+				NoCPower:    powerOf(c, cfg, int64(q.Window)),
+			}
+		}
+	}
+	n := float64(q.Seeds)
+	res.AggIPC = agg / n
+	res.PerCoreIPC = res.AggIPC / float64(res.ActiveCores)
+	res.AvgNetLatency = lat / n
+	res.SnoopRate = snoop / n
+	res.LLCMissRate = miss / n
+	res.L1IMPKI = impki / n
+	res.L1DMPKI = dmpki / n
+	return res
+}
+
+// powerOf computes the run's NoC power with the design's area and buffer
+// technology.
+func powerOf(c *chip.Chip, cfg Config, cycles int64) physic.Power {
+	area, kind := designArea(cfg)
+	return physic.NetworkPowerKind(*c.Net.Stats(), c.NetRouters(), cycles, cfg.LinkBits, area, kind)
+}
+
+// designArea returns the NoC area and buffer kind for a configuration.
+func designArea(cfg Config) (physic.Breakdown, physic.BufferKind) {
+	switch cfg.Design {
+	case Mesh:
+		return physic.MeshArea(cfg.Cores, float64(cfg.LLCMB), cfg.LinkBits), physic.FlipFlop
+	case FBfly:
+		return physic.FBflyArea(cfg.Cores, float64(cfg.LLCMB), cfg.LinkBits), physic.SRAM
+	case NOCOut:
+		org := cfg.NOCOut
+		if org.Columns == 0 {
+			org = core.DefaultConfig()
+		}
+		return physic.NOCOutTotalArea(org, cfg.LinkBits), physic.FlipFlop
+	default:
+		return physic.Breakdown{}, physic.FlipFlop
+	}
+}
+
+// Area returns the configuration's NoC area breakdown (Figure 8's model).
+func Area(cfg Config) physic.Breakdown {
+	b, _ := designArea(cfg)
+	return b
+}
