@@ -1,10 +1,14 @@
 // Command nocout-area prints the NoC area model's view of the three
-// organizations (Figure 8) and the equal-area link widths behind Figure 9.
+// organizations (Figure 8) and the equal-area link widths behind Figure 9,
+// as text or JSON (-json).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"log"
+	"os"
 
 	"nocout"
 	"nocout/internal/core"
@@ -12,20 +16,53 @@ import (
 )
 
 func main() {
+	log.SetFlags(0)
+	log.SetPrefix("nocout-area: ")
+
 	linkBits := flag.Int("linkbits", 128, "link width in bits")
+	jsonOut := flag.Bool("json", false, "emit the area model as JSON")
 	flag.Parse()
 
-	fmt.Println(nocout.Figure8().Table())
-
+	fig8 := nocout.Figure8()
 	budget := physic.NOCOutTotalArea(core.DefaultConfig(), *linkBits).Total()
-	fmt.Printf("Equal-area link widths at NOC-Out's %.2f mm² budget:\n", budget)
+	red, disp, llc := physic.NOCOutArea(core.DefaultConfig(), *linkBits)
+
+	type equalArea struct {
+		Design string           `json:"design"`
+		Bits   int              `json:"bits"`
+		Area   physic.Breakdown `json:"area"`
+	}
+	var equal []equalArea
 	for _, d := range []string{"mesh", "fbfly"} {
 		w, a := physic.SolveWidthForArea(d, budget)
-		fmt.Printf("  %-6s %3d bits  (%v)\n", d, w, a)
+		equal = append(equal, equalArea{Design: d, Bits: w, Area: a})
+	}
+
+	if *jsonOut {
+		doc := struct {
+			Figure8    nocout.Figure8Result `json:"figure8"`
+			BudgetMM2  float64              `json:"budget_mm2"`
+			EqualArea  []equalArea          `json:"equal_area_links"`
+			Reduction  physic.Breakdown     `json:"nocout_reduction"`
+			Dispersion physic.Breakdown     `json:"nocout_dispersion"`
+			LLC        physic.Breakdown     `json:"nocout_llc"`
+		}{Figure8: fig8, BudgetMM2: budget, EqualArea: equal, Reduction: red, Dispersion: disp, LLC: llc}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	fmt.Println(fig8.Table())
+
+	fmt.Printf("Equal-area link widths at NOC-Out's %.2f mm² budget:\n", budget)
+	for _, e := range equal {
+		fmt.Printf("  %-6s %3d bits  (%v)\n", e.Design, e.Bits, e.Area)
 	}
 
 	fmt.Println("\nNOC-Out composition (§6.2):")
-	red, disp, llc := physic.NOCOutArea(core.DefaultConfig(), *linkBits)
 	total := red.Add(disp).Add(llc).Total()
 	fmt.Printf("  reduction trees:  %5.2f mm² (%2.0f%%)\n", red.Total(), red.Total()/total*100)
 	fmt.Printf("  dispersion trees: %5.2f mm² (%2.0f%%)\n", disp.Total(), disp.Total()/total*100)

@@ -1,17 +1,19 @@
 // Command nocout-experiments regenerates the paper's evaluation figures and
-// tables as text reports.
+// tables, as text reports or one JSON document (-json).
 //
 // Usage:
 //
 //	nocout-experiments                 # everything, quick quality
 //	nocout-experiments -fig 7 -quality full
-//	nocout-experiments -fig 1,8,9
+//	nocout-experiments -fig 1,8,9 -json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 	"time"
 
@@ -24,11 +26,12 @@ func main() {
 
 	figs := flag.String("fig", "all", "comma-separated: 1,4,7,8,9,power,banking,scaling,table1 or all")
 	quality := flag.String("quality", "quick", "quick | full")
+	jsonOut := flag.Bool("json", false, "emit the structured results as one JSON object")
 	flag.Parse()
 
-	q := nocout.Quick
-	if *quality == "full" {
-		q = nocout.Full
+	q, err := nocout.ParseQuality(*quality)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	want := map[string]bool{}
@@ -42,22 +45,39 @@ func main() {
 		}
 	}
 
-	run := func(name string, fn func() fmt.Stringer) {
+	// Each figure is a declarative sweep spec over the experiment engine;
+	// run returns the structured result for -json and a Table for text.
+	out := map[string]any{}
+	run := func(name string, fn func() (any, fmt.Stringer)) {
 		if !want[name] {
 			return
 		}
 		start := time.Now()
-		fmt.Println(fn().String())
+		v, table := fn()
+		if *jsonOut {
+			out[name] = v
+			fmt.Fprintf(os.Stderr, "  [%s: %.1fs]\n", name, time.Since(start).Seconds())
+			return
+		}
+		fmt.Println(table.String())
 		fmt.Printf("  [%s: %.1fs]\n\n", name, time.Since(start).Seconds())
 	}
 
-	run("table1", func() fmt.Stringer { return nocout.Table1() })
-	run("1", func() fmt.Stringer { return nocout.Figure1(q).Table() })
-	run("4", func() fmt.Stringer { return nocout.Figure4(q).Table() })
-	run("7", func() fmt.Stringer { return nocout.Figure7(q).Table() })
-	run("8", func() fmt.Stringer { return nocout.Figure8().Table() })
-	run("9", func() fmt.Stringer { return nocout.Figure9(q).Table() })
-	run("power", func() fmt.Stringer { return nocout.PowerStudy(q).Table() })
-	run("banking", func() fmt.Stringer { return nocout.BankingAblation(q).Table() })
-	run("scaling", func() fmt.Stringer { return nocout.ScalingAblation(q).Table() })
+	run("table1", func() (any, fmt.Stringer) { t := nocout.Table1(); return t, t })
+	run("1", func() (any, fmt.Stringer) { r := nocout.Figure1(q); return r, r.Table() })
+	run("4", func() (any, fmt.Stringer) { r := nocout.Figure4(q); return r, r.Table() })
+	run("7", func() (any, fmt.Stringer) { r := nocout.Figure7(q); return r, r.Table() })
+	run("8", func() (any, fmt.Stringer) { r := nocout.Figure8(); return r, r.Table() })
+	run("9", func() (any, fmt.Stringer) { r := nocout.Figure9(q); return r, r.Table() })
+	run("power", func() (any, fmt.Stringer) { r := nocout.PowerStudy(q); return r, r.Table() })
+	run("banking", func() (any, fmt.Stringer) { r := nocout.BankingAblation(q); return r, r.Table() })
+	run("scaling", func() (any, fmt.Stringer) { r := nocout.ScalingAblation(q); return r, r.Table() })
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			log.Fatal(err)
+		}
+	}
 }

@@ -1,17 +1,21 @@
 // Command nocout runs one CMP configuration under one scale-out workload
-// and prints the measured metrics.
+// and prints the measured metrics, as text or as a machine-readable
+// Report (-json).
 //
 // Usage:
 //
 //	nocout -design nocout -workload "Web Search" -quality full
 //	nocout -design mesh -cores 64 -linkbits 64 -workload "Data Serving"
+//	nocout -design nocout -workload "Web Search" -json
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
-	"strings"
+	"os"
+	"os/signal"
 
 	"nocout"
 )
@@ -27,6 +31,7 @@ func main() {
 	linkBits := flag.Int("linkbits", 128, "NoC link width in bits")
 	quality := flag.String("quality", "quick", "quick | full")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	jsonOut := flag.Bool("json", false, "emit the structured Report as JSON")
 	flag.Parse()
 
 	if *list {
@@ -36,23 +41,13 @@ func main() {
 		return
 	}
 
-	var d nocout.Design
-	switch strings.ToLower(*design) {
-	case "mesh":
-		d = nocout.Mesh
-	case "fbfly", "flattened-butterfly":
-		d = nocout.FBfly
-	case "nocout", "noc-out":
-		d = nocout.NOCOut
-	case "ideal":
-		d = nocout.Ideal
-	default:
-		log.Fatalf("unknown design %q", *design)
+	d, err := nocout.ParseDesign(*design)
+	if err != nil {
+		log.Fatal(err)
 	}
-
-	q := nocout.Quick
-	if *quality == "full" {
-		q = nocout.Full
+	q, err := nocout.ParseQuality(*quality)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	cfg := nocout.DefaultConfig(d)
@@ -60,10 +55,26 @@ func main() {
 	cfg.LinkBits = *linkBits
 	cfg.Seed = *seed
 
-	res, err := nocout.Run(cfg, *wl, q)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	rep, err := nocout.NewExperiment(
+		nocout.WithTitle(fmt.Sprintf("%v / %s", d, *wl)),
+		nocout.WithVariant(d.String(), cfg),
+		nocout.WithWorkloads(*wl),
+		nocout.WithQuality(q),
+	).Run(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	if *jsonOut {
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	res := rep.Results[0].Result
 	fmt.Println(res)
 	fmt.Printf("  LLC miss rate: %.1f%%   L1-I MPKI: %.1f   L1-D MPKI: %.1f\n",
 		res.LLCMissRate*100, res.L1IMPKI, res.L1DMPKI)

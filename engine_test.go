@@ -1,0 +1,284 @@
+package nocout
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestSweepExpansion(t *testing.T) {
+	e := NewExperiment(
+		WithDesigns(Ideal, Mesh),
+		WithWorkloads("Data Serving", "MapReduce-W"),
+		WithCoreCounts(16, 32, 64),
+	)
+	sw, err := e.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Len() != 2*2*3 {
+		t.Fatalf("cartesian product = %d points, want 12", sw.Len())
+	}
+	// Expansion order: variants outer, then workloads, then core counts.
+	first := sw.Points[0]
+	if first.Variant != "Ideal" || first.Workload != "Data Serving" || first.Cores != 16 {
+		t.Fatalf("first point = %+v", first)
+	}
+	last := sw.Points[sw.Len()-1]
+	if last.Variant != "Mesh" || last.Workload != "MapReduce-W" || last.Config.Cores != 64 {
+		t.Fatalf("last point = %+v", last)
+	}
+}
+
+func TestSweepDedup(t *testing.T) {
+	// The same design twice collapses to one set of points.
+	sw, err := NewExperiment(
+		WithDesigns(Mesh),
+		WithDesigns(Mesh),
+		WithWorkloads("SAT Solver"),
+		WithCoreCounts(16, 16, 32),
+	).Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Len() != 2 {
+		t.Fatalf("dedup failed: %d points, want 2", sw.Len())
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	if _, err := NewExperiment().Sweep(); err == nil {
+		t.Fatal("experiment without variants must not expand")
+	}
+	_, err := NewExperiment(WithDesigns(Mesh), WithWorkloads("Quake")).Sweep()
+	if err == nil || !strings.Contains(err.Error(), "Quake") {
+		t.Fatalf("unknown workload error = %v", err)
+	}
+}
+
+func TestSweepConfigureAndUnlimited(t *testing.T) {
+	sw, err := NewExperiment(
+		WithDesigns(Mesh),
+		WithWorkloads("Web Search"), // MaxCores 16 in the suite
+		WithCoreCounts(64),
+		WithSeed(42),
+		WithUnlimitedCores(),
+		WithConfigure(func(cfg *Config, p Point) { cfg.MemChannels = 4 * p.Cores / 64 }),
+	).Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := sw.Points[0]
+	if p.Config.MemChannels != 4 {
+		t.Fatalf("configure hook not applied: %+v", p.Config)
+	}
+	if p.Seed != 42 || p.Config.Seed != 42 {
+		t.Fatalf("seed override not applied: %+v", p)
+	}
+	if p.wl.MaxCores != 64 {
+		t.Fatalf("WithUnlimitedCores must lift the cap to the chip size, got %d", p.wl.MaxCores)
+	}
+
+	// Seed 0 is a valid override, not "unset".
+	sw, err = NewExperiment(WithDesigns(Mesh), WithWorkloads("SAT Solver"), WithSeed(0)).Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := sw.Points[0].Config.Seed; s != 0 {
+		t.Fatalf("WithSeed(0) ignored: config seed %d", s)
+	}
+}
+
+// TestRunnerDeterminism checks the engine's core contract: identical
+// results regardless of worker count.
+func TestRunnerDeterminism(t *testing.T) {
+	e := NewExperiment(
+		WithDesigns(Ideal, Mesh),
+		WithWorkloads("Web Search"),
+		WithCoreCounts(8),
+		WithQuality(tiny),
+	)
+	sw, err := e.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls int
+	serial, err := (&Runner{Workers: 1, Progress: func(done, total int, p Point, r Result) {
+		calls++
+		if total != sw.Len() || done < 1 || done > total {
+			t.Errorf("progress(%d, %d)", done, total)
+		}
+	}}).Run(context.Background(), sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != sw.Len() {
+		t.Fatalf("progress called %d times, want %d", calls, sw.Len())
+	}
+	wide, err := (&Runner{Workers: 8}).Run(context.Background(), sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Results, wide.Results) {
+		t.Fatalf("results differ across worker counts:\n1: %+v\n8: %+v", serial.Results, wide.Results)
+	}
+	if serial.Results[0].Result.AggIPC <= 0 {
+		t.Fatalf("no throughput: %+v", serial.Results[0])
+	}
+}
+
+func TestRunnerCancellation(t *testing.T) {
+	e := NewExperiment(WithDesigns(Mesh, Ideal), WithCoreCounts(8), WithQuality(tiny))
+	sw, err := e.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the sweep starts
+	if rep, err := (&Runner{}).Run(ctx, sw); err != context.Canceled || rep != nil {
+		t.Fatalf("pre-cancelled run = (%v, %v), want (nil, context.Canceled)", rep, err)
+	}
+
+	// Cancel mid-sweep, from the progress callback after the first point.
+	ctx, cancel = context.WithCancel(context.Background())
+	defer cancel()
+	rn := &Runner{Workers: 1, Progress: func(done, total int, p Point, r Result) {
+		if done == 1 {
+			cancel()
+		}
+	}}
+	if rep, err := rn.Run(ctx, sw); err != context.Canceled || rep != nil {
+		t.Fatalf("mid-sweep cancel = (%v, %v), want (nil, context.Canceled)", rep, err)
+	}
+}
+
+// TestSeedDerivation pins the runSeeds seed schedule: seed s runs at
+// base+s*7919 (the historical bug compounded the offsets), so a 2-seed
+// run averages exactly the two single-seed runs.
+func TestSeedDerivation(t *testing.T) {
+	cfg := DefaultConfig(Mesh)
+	cfg.Cores = 8
+
+	q2 := tiny
+	q2.Seeds = 2
+	avg, err := Run(cfg, "SAT Solver", q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var single [2]Result
+	for s := range single {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(s)*7919
+		single[s], err = Run(c, "SAT Solver", tiny)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := (single[0].AggIPC + single[1].AggIPC) / 2
+	if diff := avg.AggIPC - want; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("2-seed AggIPC %.9f != mean of per-seed runs %.9f", avg.AggIPC, want)
+	}
+	if single[0].AggIPC == single[1].AggIPC {
+		t.Fatal("distinct seeds should not measure identically")
+	}
+}
+
+func TestReportEncoders(t *testing.T) {
+	rep := &Report{
+		Title:   "enc",
+		Quality: tiny,
+		Results: []PointResult{{
+			Point: Point{Variant: "NOC-Out", Design: NOCOut, Workload: "Web Search",
+				Cores: 64, Seed: 1, Config: DefaultConfig(NOCOut)},
+			Result: Result{Design: NOCOut, Workload: "Web Search", ActiveCores: 16,
+				AggIPC: 12.5, PerCoreIPC: 12.5 / 16},
+		}},
+	}
+
+	var js strings.Builder
+	if err := rep.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(js.String(), `"design": "NOC-Out"`) {
+		t.Fatalf("design should marshal by name:\n%s", js.String())
+	}
+	var back Report
+	if err := json.Unmarshal([]byte(js.String()), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Results[0].Result.Design != NOCOut || back.Results[0].Result.AggIPC != 12.5 {
+		t.Fatalf("JSON round trip lost data: %+v", back.Results[0])
+	}
+
+	var cs strings.Builder
+	if err := rep.WriteCSV(&cs); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(cs.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("CSV = %d lines, want header + 1 row:\n%s", len(lines), cs.String())
+	}
+	if !strings.HasPrefix(lines[0], "variant,design,workload,cores") {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "NOC-Out,Web Search,64") {
+		t.Fatalf("CSV row = %q", lines[1])
+	}
+
+	if s := rep.Table().String(); !strings.Contains(s, "NOC-Out") {
+		t.Fatalf("table renderer:\n%s", s)
+	}
+}
+
+func TestReportGet(t *testing.T) {
+	rep := &Report{Results: []PointResult{{
+		Point:  Point{Variant: "Mesh", Workload: "SAT Solver", Cores: 32},
+		Result: Result{AggIPC: 7},
+	}}}
+	if r, ok := rep.Get("Mesh", "SAT Solver", 32); !ok || r.AggIPC != 7 {
+		t.Fatalf("Get = (%+v, %v)", r, ok)
+	}
+	if _, ok := rep.Get("Mesh", "SAT Solver", 64); ok {
+		t.Fatal("Get must miss on a different core count")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustGet on a missing cell must panic")
+		}
+	}()
+	rep.MustGet("Ideal", "SAT Solver", 32)
+}
+
+func TestParseDesign(t *testing.T) {
+	cases := map[string]Design{
+		"mesh": Mesh, "Mesh": Mesh,
+		"fbfly": FBfly, "flattened-butterfly": FBfly, "Flattened Butterfly": FBfly,
+		"nocout": NOCOut, "NOC-Out": NOCOut,
+		"ideal": Ideal,
+	}
+	for s, want := range cases {
+		d, err := ParseDesign(s)
+		if err != nil || d != want {
+			t.Errorf("ParseDesign(%q) = (%v, %v), want %v", s, d, err, want)
+		}
+	}
+	if _, err := ParseDesign("torus"); err == nil {
+		t.Fatal("unknown design must error")
+	}
+}
+
+func TestParseQuality(t *testing.T) {
+	if q, err := ParseQuality("quick"); err != nil || q != Quick {
+		t.Fatalf("quick = (%+v, %v)", q, err)
+	}
+	if q, err := ParseQuality("Full"); err != nil || q != Full {
+		t.Fatalf("full = (%+v, %v)", q, err)
+	}
+	if _, err := ParseQuality("heroic"); err == nil {
+		t.Fatal("unknown quality must error")
+	}
+}

@@ -3,9 +3,13 @@
 // 8MB LLC on the mesh and NOC-Out organizations and report throughput and
 // throughput per unit of NoC area — the kind of cost-benefit analysis that
 // motivates NOC-Out's existence.
+//
+// The whole study is one declarative sweep: the WithConfigure hook shapes
+// the NOC-Out organization to each core count during expansion.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,33 +18,44 @@ import (
 
 func main() {
 	counts := []int{16, 32, 64}
+	rep, err := nocout.NewExperiment(
+		nocout.WithTitle("Scale-out design space (MapReduce-W)"),
+		nocout.WithDesigns(nocout.Mesh, nocout.NOCOut),
+		nocout.WithWorkloads("MapReduce-W"),
+		nocout.WithCoreCounts(counts...),
+		nocout.WithQuality(nocout.Quick),
+		nocout.WithConfigure(func(cfg *nocout.Config, p nocout.Point) {
+			if p.Design != nocout.NOCOut {
+				return
+			}
+			// Shape the NOC-Out organization for the core count: keep
+			// 8 columns where possible (64 cores is the paper baseline).
+			switch p.Cores {
+			case 16:
+				cfg.NOCOut = nocout.NOCOutOrg{Columns: 4, RowsPerSide: 2}
+			case 32:
+				cfg.NOCOut = nocout.NOCOutOrg{Columns: 8, RowsPerSide: 2}
+			}
+		}),
+	).Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	fmt.Println("Scale-out design space: throughput vs interconnect cost (MapReduce-W)")
 	fmt.Println("----------------------------------------------------------------------")
 	fmt.Printf("%-8s %-10s %10s %12s %16s\n", "cores", "design", "agg IPC", "NoC mm²", "IPC per NoC mm²")
 
 	for _, n := range counts {
 		for _, d := range []nocout.Design{nocout.Mesh, nocout.NOCOut} {
-			cfg := nocout.DefaultConfig(d)
-			cfg.Cores = n
-			if d == nocout.NOCOut {
-				// Shape the NOC-Out organization for the core count:
-				// keep 8 columns where possible.
-				switch n {
-				case 16:
-					cfg.NOCOut = nocout.NOCOutOrg{Columns: 4, RowsPerSide: 2}
-				case 32:
-					cfg.NOCOut = nocout.NOCOutOrg{Columns: 8, RowsPerSide: 2}
-				case 64:
-					// paper baseline
-				}
+			pr, ok := rep.GetPoint(d.String(), "MapReduce-W", n)
+			if !ok {
+				log.Fatalf("missing point %v/%d", d, n)
 			}
-			res, err := nocout.Run(cfg, "MapReduce-W", nocout.Quick)
-			if err != nil {
-				log.Fatal(err)
-			}
-			area := nocout.Area(cfg).Total()
+			// The point carries its resolved config for the area model.
+			area := nocout.Area(pr.Point.Config).Total()
 			fmt.Printf("%-8d %-10v %10.2f %12.2f %16.2f\n",
-				n, d, res.AggIPC, area, res.AggIPC/area)
+				n, d, pr.Result.AggIPC, area, pr.Result.AggIPC/area)
 		}
 	}
 	fmt.Println("\nNOC-Out holds the mesh's cost while delivering the low-diameter latency.")

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,26 +16,30 @@ import (
 func main() {
 	designs := []nocout.Design{nocout.Ideal, nocout.NOCOut, nocout.FBfly, nocout.Mesh}
 
+	rep, err := nocout.NewExperiment(
+		nocout.WithTitle("Data Serving latency sensitivity"),
+		nocout.WithDesigns(designs...),
+		nocout.WithWorkloads("Data Serving"),
+		nocout.WithQuality(nocout.Quick),
+	).Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	fmt.Println("Data Serving, 64 cores: sensitivity to interconnect latency")
 	fmt.Println("------------------------------------------------------------")
 	fmt.Printf("%-20s %10s %12s %14s\n", "design", "agg IPC", "net latency", "LLC miss rate")
 
-	var ideal float64
 	for _, d := range designs {
-		res, err := nocout.Run(nocout.DefaultConfig(d), "Data Serving", nocout.Quick)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if d == nocout.Ideal {
-			ideal = res.AggIPC
-		}
+		res := rep.MustGet(d.String(), "Data Serving", 0)
 		fmt.Printf("%-20v %10.2f %9.1f cy %13.1f%%\n",
 			d, res.AggIPC, res.AvgNetLatency, res.LLCMissRate*100)
 	}
 
 	fmt.Println()
+	ideal := rep.MustGet(nocout.Ideal.String(), "Data Serving", 0).AggIPC
 	for _, d := range []nocout.Design{nocout.NOCOut, nocout.Mesh} {
-		res, _ := nocout.Run(nocout.DefaultConfig(d), "Data Serving", nocout.Quick)
+		res := rep.MustGet(d.String(), "Data Serving", 0)
 		fmt.Printf("%v achieves %.0f%% of the ideal fabric's throughput\n",
 			d, res.AggIPC/ideal*100)
 	}

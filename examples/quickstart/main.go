@@ -1,8 +1,10 @@
-// Quickstart: build the paper's 64-core NOC-Out chip, run a scale-out
-// workload, and print the headline metrics.
+// Quickstart: declare a two-design sweep with the experiment engine, run
+// it, and print the headline metrics plus NOC-Out's speedup over the
+// tiled mesh.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -10,24 +12,23 @@ import (
 )
 
 func main() {
-	cfg := nocout.DefaultConfig(nocout.NOCOut)
-
-	res, err := nocout.Run(cfg, "MapReduce-C", nocout.Quick)
+	rep, err := nocout.NewExperiment(
+		nocout.WithTitle("NOC-Out quickstart (MapReduce-C)"),
+		nocout.WithDesigns(nocout.NOCOut, nocout.Mesh),
+		nocout.WithWorkloads("MapReduce-C"),
+		nocout.WithQuality(nocout.Quick),
+	).Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Println("NOC-Out quickstart")
-	fmt.Println("------------------")
-	fmt.Println(res)
-	fmt.Printf("NoC area:  %v\n", nocout.Area(cfg))
+	fmt.Println(rep.Table())
+
+	res := rep.MustGet("NOC-Out", "MapReduce-C", 0)
+	fmt.Printf("NoC area:  %v\n", nocout.Area(nocout.DefaultConfig(nocout.NOCOut)))
 	fmt.Printf("NoC power: %v\n", res.NoCPower)
 
-	// Compare against the mesh baseline on the same workload.
-	mesh, err := nocout.Run(nocout.DefaultConfig(nocout.Mesh), "MapReduce-C", nocout.Quick)
-	if err != nil {
-		log.Fatal(err)
-	}
+	mesh := rep.MustGet("Mesh", "MapReduce-C", 0)
 	fmt.Printf("\nSpeedup over the tiled mesh: %.2fx (paper: NOC-Out ≈ +17%% gmean)\n",
 		res.AggIPC/mesh.AggIPC)
 }

@@ -1,10 +1,12 @@
 // Scaling study (§7.1): grow NOC-Out from 64 to 128 cores two ways —
 // concentration (two cores per tree port) and taller columns, with and
 // without express links that let distant cores bypass intermediate tree
-// nodes.
+// nodes. Each variant is one WithVariant entry in a single sweep, with
+// the workload's software scalability cap lifted (WithUnlimitedCores).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,10 +25,12 @@ func main() {
 		{"128-core, 8 rows/side + express links", nocout.NOCOutOrg{Columns: 8, RowsPerSide: 8, ExpressFrom: 4}},
 	}
 
-	fmt.Println("NOC-Out scalability (§7.1), SAT Solver")
-	fmt.Println("---------------------------------------")
-	fmt.Printf("%-42s %8s %14s %12s\n", "variant", "cores", "per-core IPC", "net latency")
-
+	opts := []nocout.Option{
+		nocout.WithTitle("NOC-Out scalability (§7.1), SAT Solver"),
+		nocout.WithWorkloads("SAT Solver"),
+		nocout.WithUnlimitedCores(),
+		nocout.WithQuality(nocout.Quick),
+	}
 	for _, v := range variants {
 		cfg := nocout.DefaultConfig(nocout.NOCOut)
 		org := v.org.WithDefaults()
@@ -34,11 +38,22 @@ func main() {
 		cfg.Cores = org.NumCores()
 		// Keep the chip balanced: off-die bandwidth scales with cores.
 		cfg.MemChannels = 4 * cfg.Cores / 64
-		res, err := nocout.RunUnlimited(cfg, "SAT Solver", nocout.Quick)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%-42s %8d %14.3f %9.1f cy\n", v.name, cfg.Cores, res.PerCoreIPC, res.AvgNetLatency)
+		opts = append(opts, nocout.WithVariant(v.name, cfg))
+	}
+
+	rep, err := nocout.NewExperiment(opts...).Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("NOC-Out scalability (§7.1), SAT Solver")
+	fmt.Println("---------------------------------------")
+	fmt.Printf("%-42s %8s %14s %12s\n", "variant", "cores", "per-core IPC", "net latency")
+
+	for _, v := range variants {
+		res := rep.MustGet(v.name, "SAT Solver", 0)
+		fmt.Printf("%-42s %8d %14.3f %9.1f cy\n",
+			v.name, res.ActiveCores, res.PerCoreIPC, res.AvgNetLatency)
 	}
 	fmt.Println("\nConcentration doubles the core count at nearly the same network cost;")
 	fmt.Println("express links recover the tree latency of the taller columns.")

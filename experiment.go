@@ -1,0 +1,227 @@
+package nocout
+
+import (
+	"context"
+	"fmt"
+
+	"nocout/internal/workload"
+)
+
+// This file defines the declarative half of the experiment engine: an
+// Experiment is a sweep *specification* — variants (named configurations)
+// crossed with workloads and core counts — built with functional options
+// and expanded into a Sweep of fully resolved Points. The Runner
+// (runner.go) executes a Sweep; the Report (report.go) holds the results.
+// Every Figure*/-Study/-Ablation entry point in experiments.go is a thin
+// spec over this engine, and user studies are meant to be the same.
+
+// Variant is a named configuration inside a sweep, e.g. a design at its
+// Table 1 defaults, or an ablation point ("4 banks/tile").
+type Variant struct {
+	Name   string
+	Config Config
+}
+
+// Point is one cell of a sweep's cartesian product: a variant measured
+// under one workload at one core count, with a fully resolved Config.
+type Point struct {
+	Variant  string `json:"variant"`
+	Design   Design `json:"design"`
+	Workload string `json:"workload"`
+	// Cores is the requested core count; 0 means the variant's own (the
+	// resolved value is Config.Cores).
+	Cores int    `json:"requested_cores,omitempty"`
+	Seed  uint64 `json:"seed"`
+	// Config is the resolved configuration the point runs; it is part of
+	// the JSON encoding so a report fully reproduces its runs.
+	Config Config `json:"config"`
+
+	wl workload.Params
+}
+
+// Key identifies the point within its sweep; expansion dedups on it.
+func (p Point) Key() string {
+	return fmt.Sprintf("%s|%s|%d", p.Variant, p.Workload, p.Cores)
+}
+
+// String describes the point for progress displays.
+func (p Point) String() string {
+	return fmt.Sprintf("%s / %s / %d cores", p.Variant, p.Workload, p.Config.Cores)
+}
+
+// Sweep is a fully expanded experiment: the list of points to measure and
+// the effort to measure them at.
+type Sweep struct {
+	Title   string
+	Quality Quality
+	Points  []Point
+}
+
+// Len returns the number of points.
+func (s Sweep) Len() int { return len(s.Points) }
+
+// Experiment is a declarative sweep specification. Build one with
+// NewExperiment and functional options, then Run it (or Sweep it and hand
+// the result to a custom Runner):
+//
+//	rep, err := nocout.NewExperiment(
+//		nocout.WithDesigns(nocout.Mesh, nocout.NOCOut),
+//		nocout.WithWorkloads("Data Serving"),
+//		nocout.WithCoreCounts(16, 32, 64),
+//		nocout.WithQuality(nocout.Quick),
+//	).Run(ctx)
+type Experiment struct {
+	title      string
+	variants   []Variant
+	workloads  []string
+	coreCounts []int
+	quality    Quality
+	seed       *uint64
+	unlimited  bool
+	configure  func(*Config, Point)
+}
+
+// Option configures an Experiment.
+type Option func(*Experiment)
+
+// NewExperiment builds a sweep specification. Defaults: Quick quality,
+// the full six-workload suite, each variant's own core count and seed.
+func NewExperiment(opts ...Option) *Experiment {
+	e := &Experiment{quality: Quick}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// WithTitle names the experiment; the title heads its Report.
+func WithTitle(title string) Option {
+	return func(e *Experiment) { e.title = title }
+}
+
+// WithDesigns adds one variant per design at its Table 1 defaults, named
+// by the design's figure name.
+func WithDesigns(ds ...Design) Option {
+	return func(e *Experiment) {
+		for _, d := range ds {
+			e.variants = append(e.variants, Variant{Name: d.String(), Config: DefaultConfig(d)})
+		}
+	}
+}
+
+// WithVariant adds one named configuration, for sweeps over something
+// other than the stock designs (link widths, banking, NOC-Out shapes).
+func WithVariant(name string, cfg Config) Option {
+	return func(e *Experiment) {
+		e.variants = append(e.variants, Variant{Name: name, Config: cfg})
+	}
+}
+
+// WithWorkloads restricts the sweep to the named workloads (any order,
+// any Register-ed name). Default: the full suite in figure order.
+func WithWorkloads(names ...string) Option {
+	return func(e *Experiment) { e.workloads = append(e.workloads, names...) }
+}
+
+// WithCoreCounts crosses the sweep with chip core counts. Default: each
+// variant's own configured core count.
+func WithCoreCounts(ns ...int) Option {
+	return func(e *Experiment) { e.coreCounts = append(e.coreCounts, ns...) }
+}
+
+// WithQuality sets the simulation effort (default Quick).
+func WithQuality(q Quality) Option {
+	return func(e *Experiment) { e.quality = q }
+}
+
+// WithSeed overrides every variant's base seed (any value, 0 included).
+func WithSeed(s uint64) Option {
+	return func(e *Experiment) { e.seed = &s }
+}
+
+// WithUnlimitedCores lifts each workload's software scalability cap to
+// the chip's core count, for §7.1-style studies that assume software able
+// to use every core.
+func WithUnlimitedCores() Option {
+	return func(e *Experiment) { e.unlimited = true }
+}
+
+// WithConfigure installs a hook that may adjust each point's Config after
+// expansion — e.g. shaping the NOC-Out organization or scaling memory
+// channels with the core count. The hook sees the point's identity
+// (variant, workload, cores) and mutates the config in place.
+func WithConfigure(f func(cfg *Config, p Point)) Option {
+	return func(e *Experiment) { e.configure = f }
+}
+
+// Sweep expands the specification into the cartesian product of
+// variants × workloads × core counts, resolving workload names, applying
+// the configure hook, and dropping duplicate points.
+func (e *Experiment) Sweep() (Sweep, error) {
+	if len(e.variants) == 0 {
+		return Sweep{}, fmt.Errorf("nocout: experiment has no variants; use WithDesigns or WithVariant")
+	}
+	names := e.workloads
+	if len(names) == 0 {
+		names = Workloads()
+	}
+	wls := make([]workload.Params, len(names))
+	for i, n := range names {
+		w, err := workload.ByName(n)
+		if err != nil {
+			return Sweep{}, err
+		}
+		wls[i] = w
+	}
+	counts := e.coreCounts
+	if len(counts) == 0 {
+		counts = []int{0}
+	}
+
+	sw := Sweep{Title: e.title, Quality: e.quality}
+	seen := make(map[string]bool)
+	for _, v := range e.variants {
+		for _, w := range wls {
+			for _, n := range counts {
+				cfg := v.Config
+				if n > 0 {
+					cfg.Cores = n
+				}
+				if e.seed != nil {
+					cfg.Seed = *e.seed
+				}
+				p := Point{
+					Variant:  v.Name,
+					Design:   cfg.Design,
+					Workload: w.Name,
+					Cores:    n,
+				}
+				if e.configure != nil {
+					e.configure(&cfg, p)
+				}
+				wl := w
+				if e.unlimited {
+					wl.MaxCores = cfg.Cores
+				}
+				p.Seed = cfg.Seed
+				p.Config = cfg
+				p.wl = wl
+				if seen[p.Key()] {
+					continue
+				}
+				seen[p.Key()] = true
+				sw.Points = append(sw.Points, p)
+			}
+		}
+	}
+	return sw, nil
+}
+
+// Run expands the experiment and executes it with a default Runner.
+func (e *Experiment) Run(ctx context.Context) (*Report, error) {
+	sw, err := e.Sweep()
+	if err != nil {
+		return nil, err
+	}
+	return (&Runner{}).Run(ctx, sw)
+}

@@ -1,10 +1,8 @@
 package nocout
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"strings"
-	"sync"
 
 	"nocout/internal/core"
 	"nocout/internal/physic"
@@ -12,73 +10,36 @@ import (
 	"nocout/internal/workload"
 )
 
-// parallel runs n jobs across the available CPUs.
-func parallel(n int, job func(i int)) {
-	workers := runtime.NumCPU()
-	if workers > n {
-		workers = n
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				job(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-}
-
-// Table is a simple text table for experiment reports.
-type Table struct {
-	Title  string
-	Header []string
-	Rows   [][]string
-}
-
-// AddRow appends a formatted row.
-func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
-
-// String renders the table.
-func (t *Table) String() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s\n", t.Title)
-	widths := make([]int, len(t.Header))
-	for i, h := range t.Header {
-		widths[i] = len(h)
-	}
-	for _, r := range t.Rows {
-		for i, c := range r {
-			if i < len(widths) && len(c) > widths[i] {
-				widths[i] = len(c)
-			}
-		}
-	}
-	line := func(cells []string) {
-		for i, c := range cells {
-			if i > 0 {
-				b.WriteString("  ")
-			}
-			fmt.Fprintf(&b, "%-*s", widths[i], c)
-		}
-		b.WriteByte('\n')
-	}
-	line(t.Header)
-	for _, r := range t.Rows {
-		line(r)
-	}
-	return b.String()
-}
+// This file regenerates the paper's evaluation. Every entry point is a
+// thin declarative sweep spec over the experiment engine (experiment.go,
+// runner.go): it names variants, workloads, and core counts; the engine
+// owns expansion, fan-out, and result bookkeeping. The exported
+// signatures predate the engine and are kept as compatibility wrappers.
 
 func f3(x float64) string { return fmt.Sprintf("%.3f", x) }
 func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+
+// mustRun executes a figure's sweep spec. The built-in specs use only
+// compile-time-valid workload names and an uncancellable context, so a
+// failure is a programming error.
+func mustRun(e *Experiment) *Report {
+	rep, err := e.Run(context.Background())
+	if err != nil {
+		panic(err)
+	}
+	return rep
+}
+
+// paperSuite names the paper's six builtin workloads. The figures pin
+// this set explicitly so RegisterWorkload-ed additions never shift the
+// regenerated paper numbers.
+func paperSuite() []string {
+	names := make([]string, 0, 6)
+	for _, w := range workload.Builtin() {
+		names = append(names, w.Name)
+	}
+	return names
+}
 
 // ---------------------------------------------------------------------------
 // Figure 1: effect of distance (core count) on per-core performance for
@@ -99,52 +60,34 @@ type Figure1Result struct {
 // Figure1 regenerates Figure 1.
 func Figure1(q Quality) Figure1Result {
 	counts := []int{1, 2, 4, 8, 16, 32, 64}
-	wls := []workload.Params{workload.DataServing, workload.MapReduceW}
+	wls := []string{workload.DataServing.Name, workload.MapReduceW.Name}
 	designs := []Design{Ideal, Mesh}
 
-	type job struct {
-		w workload.Params
-		d Design
-		n int
-	}
-	var jobs []job
-	for _, w := range wls {
-		for _, d := range designs {
-			for _, n := range counts {
-				jobs = append(jobs, job{w, d, n})
-			}
-		}
-	}
-	results := make([]float64, len(jobs))
-	parallel(len(jobs), func(i int) {
-		j := jobs[i]
-		cfg := DefaultConfig(j.d)
-		cfg.Cores = j.n
-		w := j.w
-		w.MaxCores = j.n // Figure 1 scales the chip, not the workload
-		r := runW(cfg, w, q)
-		results[i] = r.PerCoreIPC
-	})
+	rep := mustRun(NewExperiment(
+		WithTitle("Figure 1: per-core performance vs core count"),
+		WithDesigns(designs...),
+		WithWorkloads(wls...),
+		WithCoreCounts(counts...),
+		WithUnlimitedCores(), // Figure 1 scales the chip, not the workload
+		WithQuality(q),
+	))
 
 	out := Figure1Result{CoreCounts: counts, Series: map[string][]float64{}}
-	idx := 0
 	for _, w := range wls {
 		for _, d := range designs {
-			key := fmt.Sprintf("%s (%v)", w.Name, d)
 			series := make([]float64, len(counts))
-			base := results[idx] // 1-core value
-			for k := range counts {
-				series[k] = results[idx] / base
-				idx++
+			base := rep.MustGet(d.String(), w, counts[0]).PerCoreIPC
+			for k, n := range counts {
+				series[k] = rep.MustGet(d.String(), w, n).PerCoreIPC / base
 			}
-			out.Series[key] = series
+			out.Series[fmt.Sprintf("%s (%v)", w, d)] = series
 		}
 	}
 	// Average mesh/ideal gap at 64 cores.
 	gap := 0.0
 	for _, w := range wls {
-		ideal := out.Series[fmt.Sprintf("%s (%v)", w.Name, Ideal)]
-		mesh := out.Series[fmt.Sprintf("%s (%v)", w.Name, Mesh)]
+		ideal := out.Series[fmt.Sprintf("%s (%v)", w, Ideal)]
+		mesh := out.Series[fmt.Sprintf("%s (%v)", w, Mesh)]
 		gap += 1 - mesh[len(counts)-1]/ideal[len(counts)-1]
 	}
 	out.GapAt64 = gap / float64(len(wls))
@@ -195,20 +138,21 @@ type Figure4Result struct {
 
 // Figure4 regenerates Figure 4 on the 64-core mesh.
 func Figure4(q Quality) Figure4Result {
-	wls := workload.All()
+	rep := mustRun(NewExperiment(
+		WithTitle("Figure 4: snoop rate on the 64-core mesh"),
+		WithDesigns(Mesh),
+		WithWorkloads(paperSuite()...),
+		WithQuality(q),
+	))
 	out := Figure4Result{}
-	pct := make([]float64, len(wls))
-	parallel(len(wls), func(i int) {
-		r := runW(DefaultConfig(Mesh), wls[i], q)
-		pct[i] = r.SnoopRate * 100
-	})
 	sum := 0.0
-	for i, w := range wls {
+	for _, w := range workload.Builtin() {
+		pct := rep.MustGet(Mesh.String(), w.Name, 0).SnoopRate * 100
 		out.Workloads = append(out.Workloads, w.Name)
-		out.SnoopPct = append(out.SnoopPct, pct[i])
-		sum += pct[i]
+		out.SnoopPct = append(out.SnoopPct, pct)
+		sum += pct
 	}
-	out.MeanPct = sum / float64(len(wls))
+	out.MeanPct = sum / float64(len(out.Workloads))
 	return out
 }
 
@@ -237,53 +181,38 @@ type Figure7Result struct {
 
 // Figure7 regenerates Figure 7 (and its designs are reused by Figure 9).
 func Figure7(q Quality) Figure7Result {
-	return figurePerf(q, map[string]Config{
-		"Mesh":                DefaultConfig(Mesh),
-		"Flattened Butterfly": DefaultConfig(FBfly),
-		"NOC-Out":             DefaultConfig(NOCOut),
+	return figurePerf(q, "Figure 7: performance at fixed 128-bit links", []Variant{
+		{Name: "Mesh", Config: DefaultConfig(Mesh)},
+		{Name: "Flattened Butterfly", Config: DefaultConfig(FBfly)},
+		{Name: "NOC-Out", Config: DefaultConfig(NOCOut)},
 	})
 }
 
-// figurePerf measures a set of configurations over the suite, normalizing
-// to the configuration named "Mesh".
-func figurePerf(q Quality, cfgs map[string]Config) Figure7Result {
-	wls := workload.All()
-	names := make([]string, 0, len(cfgs))
-	for n := range cfgs {
-		names = append(names, n)
+// figurePerf sweeps a set of variants over the full suite, normalizing
+// each workload's throughput to the variant named "Mesh".
+func figurePerf(q Quality, title string, variants []Variant) Figure7Result {
+	opts := []Option{WithTitle(title), WithWorkloads(paperSuite()...), WithQuality(q)}
+	for _, v := range variants {
+		opts = append(opts, WithVariant(v.Name, v.Config))
 	}
-	for i := 1; i < len(names); i++ {
-		for j := i; j > 0 && names[j] < names[j-1]; j-- {
-			names[j], names[j-1] = names[j-1], names[j]
-		}
-	}
-	type job struct{ w, d int }
-	var jobs []job
-	for wi := range wls {
-		for di := range names {
-			jobs = append(jobs, job{wi, di})
-		}
-	}
-	raw := make([]float64, len(jobs))
-	parallel(len(jobs), func(i int) {
-		j := jobs[i]
-		raw[i] = runW(cfgs[names[j.d]], wls[j.w], q).AggIPC
-	})
+	rep := mustRun(NewExperiment(opts...))
+
+	wls := workload.Builtin()
 	ipc := map[string][]float64{}
-	for i, j := range jobs {
-		name := names[j.d]
-		if ipc[name] == nil {
-			ipc[name] = make([]float64, len(wls))
+	for _, v := range variants {
+		series := make([]float64, len(wls))
+		for i, w := range wls {
+			series[i] = rep.MustGet(v.Name, w.Name, 0).AggIPC
 		}
-		ipc[name][j.w] = raw[i]
+		ipc[v.Name] = series
 	}
 	out := Figure7Result{Normalized: map[string][]float64{}, GMean: map[string]float64{}}
 	for _, w := range wls {
 		out.Workloads = append(out.Workloads, w.Name)
 	}
 	base := ipc["Mesh"]
-	for _, name := range names {
-		norm := stats.NormalizeTo(ipc[name], base)
+	for name, series := range ipc {
+		norm := stats.NormalizeTo(series, base)
 		out.Normalized[name] = norm
 		out.GMean[name] = stats.GeoMean(norm)
 	}
@@ -370,10 +299,11 @@ func Figure9(q Quality) Figure9Result {
 	mesh.LinkBits = wm
 	fb := DefaultConfig(FBfly)
 	fb.LinkBits = wf
-	no := DefaultConfig(NOCOut)
 
-	perf := figurePerf(q, map[string]Config{
-		"Mesh": mesh, "Flattened Butterfly": fb, "NOC-Out": no,
+	perf := figurePerf(q, "Figure 9: performance at a fixed NoC area budget", []Variant{
+		{Name: "Mesh", Config: mesh},
+		{Name: "Flattened Butterfly", Config: fb},
+		{Name: "NOC-Out", Config: DefaultConfig(NOCOut)},
 	})
 	return Figure9Result{Figure7Result: perf, BudgetMM2: budget, MeshWidth: wm, FBflyWidth: wf}
 }
@@ -399,29 +329,24 @@ type PowerResult struct {
 // PowerStudy regenerates the §6.4 power analysis.
 func PowerStudy(q Quality) PowerResult {
 	designs := []Design{Mesh, FBfly, NOCOut}
-	wls := workload.All()
-	type job struct{ d, w int }
-	var jobs []job
-	for di := range designs {
-		for wi := range wls {
-			jobs = append(jobs, job{di, wi})
-		}
-	}
-	acc := make([]physic.Power, len(designs))
-	var mu sync.Mutex
-	parallel(len(jobs), func(i int) {
-		j := jobs[i]
-		r := runW(DefaultConfig(designs[j.d]), wls[j.w], q)
-		mu.Lock()
-		acc[j.d].LinkW += r.NoCPower.LinkW / float64(len(wls))
-		acc[j.d].RouterW += r.NoCPower.RouterW / float64(len(wls))
-		acc[j.d].LeakageW += r.NoCPower.LeakageW / float64(len(wls))
-		mu.Unlock()
-	})
+	rep := mustRun(NewExperiment(
+		WithTitle("§6.4: NoC power across the suite"),
+		WithDesigns(designs...),
+		WithWorkloads(paperSuite()...),
+		WithQuality(q),
+	))
+	wls := workload.Builtin()
 	out := PowerResult{}
-	for di, d := range designs {
+	for _, d := range designs {
+		var acc physic.Power
+		for _, w := range wls {
+			p := rep.MustGet(d.String(), w.Name, 0).NoCPower
+			acc.LinkW += p.LinkW / float64(len(wls))
+			acc.RouterW += p.RouterW / float64(len(wls))
+			acc.LeakageW += p.LeakageW / float64(len(wls))
+		}
 		out.Designs = append(out.Designs, d.String())
-		out.Power = append(out.Power, acc[di])
+		out.Power = append(out.Power, acc)
 	}
 	return out
 }
@@ -454,18 +379,25 @@ type BankingResult struct {
 func BankingAblation(q Quality) BankingResult {
 	banks := []int{1, 2, 4, 8}
 	w := workload.DataServing // the most bank-sensitive workload (§6.1)
-	perf := make([]float64, len(banks))
-	parallel(len(banks), func(i int) {
+	opts := []Option{
+		WithTitle("§4.3: LLC banking ablation"),
+		WithWorkloads(w.Name),
+		WithQuality(q),
+	}
+	name := func(b int) string { return fmt.Sprintf("%d banks/tile", b) }
+	for _, b := range banks {
 		cfg := DefaultConfig(NOCOut)
-		cfg.BanksPerLLCTile = banks[i]
-		perf[i] = runW(cfg, w, q).AggIPC
-	})
+		cfg.BanksPerLLCTile = b
+		opts = append(opts, WithVariant(name(b), cfg))
+	}
+	rep := mustRun(NewExperiment(opts...))
+
 	out := BankingResult{Workload: w.Name}
-	base := perf[len(perf)-1]
-	for i, b := range banks {
+	base := rep.MustGet(name(banks[len(banks)-1]), w.Name, 0).AggIPC
+	for _, b := range banks {
 		out.BanksPerTile = append(out.BanksPerTile, b)
 		out.CoresPerBank = append(out.CoresPerBank, 64/(8*b))
-		out.Normalized = append(out.Normalized, perf[i]/base)
+		out.Normalized = append(out.Normalized, rep.MustGet(name(b), w.Name, 0).AggIPC/base)
 	}
 	return out
 }
@@ -507,23 +439,28 @@ func ScalingAblation(q Quality) ScalingResult {
 		{"128-core, 8 rows/side", NOCOutOrg{Columns: 8, RowsPerSide: 8}},
 		{"128-core, 8 rows/side + express", NOCOutOrg{Columns: 8, RowsPerSide: 8, ExpressFrom: 4}},
 	}
-	perf := make([]float64, len(variants))
-	parallel(len(variants), func(i int) {
-		org := variants[i].org.WithDefaults()
+	opts := []Option{
+		WithTitle("§7.1: NOC-Out scaling ablation"),
+		WithWorkloads(w.Name),
+		WithUnlimitedCores(), // §7.1 assumes software that scales with the chip
+		WithQuality(q),
+	}
+	for _, v := range variants {
+		org := v.org.WithDefaults()
 		cfg := DefaultConfig(NOCOut)
 		cfg.NOCOut = org
 		cfg.Cores = org.NumCores()
 		// A balanced future chip scales off-die bandwidth with cores
 		// (otherwise DRAM saturation masks the interconnect story).
 		cfg.MemChannels = 4 * cfg.Cores / 64
-		wl := w
-		wl.MaxCores = cfg.Cores // §7.1 assumes software that scales with the chip
-		perf[i] = runW(cfg, wl, q).PerCoreIPC
-	})
+		opts = append(opts, WithVariant(v.name, cfg))
+	}
+	rep := mustRun(NewExperiment(opts...))
+
 	out := ScalingResult{Workload: w.Name}
-	for i, v := range variants {
+	for _, v := range variants {
 		out.Variants = append(out.Variants, v.name)
-		out.PerCoreIPC = append(out.PerCoreIPC, perf[i])
+		out.PerCoreIPC = append(out.PerCoreIPC, rep.MustGet(v.name, w.Name, 0).PerCoreIPC)
 	}
 	return out
 }

@@ -1,0 +1,3 @@
+module nocout
+
+go 1.24

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"nocout/internal/coherence"
 	"nocout/internal/core"
@@ -46,22 +47,53 @@ func (d Design) String() string {
 	return fmt.Sprintf("Design(%d)", uint8(d))
 }
 
+// ParseDesign resolves a design from its common spellings: the figure
+// names ("Mesh", "Flattened Butterfly") and the CLI shorthands
+// (mesh | fbfly | flattened-butterfly | nocout | noc-out | ideal).
+func ParseDesign(s string) (Design, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "mesh":
+		return Mesh, nil
+	case "fbfly", "flattened-butterfly", "flattened butterfly":
+		return FBfly, nil
+	case "nocout", "noc-out":
+		return NOCOut, nil
+	case "ideal":
+		return Ideal, nil
+	}
+	return 0, fmt.Errorf("chip: unknown design %q (want mesh | fbfly | nocout | ideal)", s)
+}
+
+// MarshalText encodes the design by name, so JSON reports read
+// "NOC-Out" instead of an opaque enum value.
+func (d Design) MarshalText() ([]byte, error) { return []byte(d.String()), nil }
+
+// UnmarshalText decodes any spelling ParseDesign accepts.
+func (d *Design) UnmarshalText(b []byte) error {
+	v, err := ParseDesign(string(b))
+	if err != nil {
+		return err
+	}
+	*d = v
+	return nil
+}
+
 // Config describes a CMP instance.
 type Config struct {
-	Design      Design
-	Cores       int // total cores (power of two)
-	LLCMB       int // total LLC capacity (8 in Table 1)
-	LLCWays     int
-	LinkBits    int // NoC link width (128 in the fixed-budget study)
-	MemChannels int
-	BankLat     sim.Cycle // LLC bank access pipeline
-	Seed        uint64
+	Design      Design    `json:"design"`
+	Cores       int       `json:"cores"`  // total cores (power of two)
+	LLCMB       int       `json:"llc_mb"` // total LLC capacity (8 in Table 1)
+	LLCWays     int       `json:"llc_ways"`
+	LinkBits    int       `json:"link_bits"` // NoC link width (128 in the fixed-budget study)
+	MemChannels int       `json:"mem_channels"`
+	BankLat     sim.Cycle `json:"bank_lat"` // LLC bank access pipeline
+	Seed        uint64    `json:"seed"`
 
 	// NOCOut overrides the NOC-Out organization (concentration, express
 	// links, LLC rows, banks per tile); zero value uses the paper baseline.
-	NOCOut core.Config
+	NOCOut core.Config `json:"nocout_org"`
 	// BanksPerLLCTile sets NOC-Out's internal banking (2 in §5.1).
-	BanksPerLLCTile int
+	BanksPerLLCTile int `json:"banks_per_llc_tile"`
 }
 
 // DefaultConfig returns the Table 1 64-core system for a design.

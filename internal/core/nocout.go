@@ -30,39 +30,39 @@ import (
 
 // Config describes a NOC-Out chip organization.
 type Config struct {
-	Columns     int // LLC tiles / columns of cores (8 in the paper)
-	RowsPerSide int // core rows above and below the LLC row (4 in the paper)
+	Columns     int `json:"columns,omitempty"`       // LLC tiles / columns of cores (8 in the paper)
+	RowsPerSide int `json:"rows_per_side,omitempty"` // core rows above and below the LLC row (4 in the paper)
 
 	// Concentration is the number of cores sharing each tree port (§7.1);
 	// 1 in the baseline. Core count = Columns * 2 * RowsPerSide * Concentration.
-	Concentration int
+	Concentration int `json:"concentration,omitempty"`
 
 	// LLCRows stacks the LLC region vertically (§7.1 "flattened butterfly
 	// in LLC"); 1 in the baseline. LLC tiles = Columns * LLCRows.
-	LLCRows int
+	LLCRows int `json:"llc_rows,omitempty"`
 
 	// ExpressFrom, when > 0, wires tree nodes at depth >= ExpressFrom
 	// directly to the LLC router instead of chaining through intermediate
 	// nodes (§7.1 express links). 0 disables express links.
-	ExpressFrom int
+	ExpressFrom int `json:"express_from,omitempty"`
 
 	// MCCount attaches that many memory-controller endpoints through
 	// dedicated ports on the LLC row's edge routers (§4.4: "off-die
 	// interfaces ... accessed through dedicated ports in the edge routers
 	// of the LLC network"). MC k gets NodeID NumNodes()+k.
-	MCCount int
+	MCCount int `json:"mc_count,omitempty"`
 
 	// BankPorts gives each LLC tile that many bank endpoints with
 	// dedicated router ports (§5.1: "LLC tiles are internally banked to
 	// maximize throughput"). 0 means banks share the tile's local port.
-	BankPorts int
+	BankPorts int `json:"bank_ports,omitempty"`
 
-	TreeBufFlits  int       // per-VC buffering in tree nodes (default 4)
-	LLCBufFlits   int       // per-VC buffering in LLC routers (default 8)
-	LLCPipe       sim.Cycle // LLC router pipeline depth (default 3)
-	TreeHop       sim.Cycle // tree per-hop latency including link (default 1)
-	TilesPerCycle int       // LLC fbfly link reach (default 2)
-	EjectBuf      int       // NI eject buffering (default 8)
+	TreeBufFlits  int       `json:"tree_buf_flits,omitempty"`  // per-VC buffering in tree nodes (default 4)
+	LLCBufFlits   int       `json:"llc_buf_flits,omitempty"`   // per-VC buffering in LLC routers (default 8)
+	LLCPipe       sim.Cycle `json:"llc_pipe,omitempty"`        // LLC router pipeline depth (default 3)
+	TreeHop       sim.Cycle `json:"tree_hop,omitempty"`        // tree per-hop latency including link (default 1)
+	TilesPerCycle int       `json:"tiles_per_cycle,omitempty"` // LLC fbfly link reach (default 2)
+	EjectBuf      int       `json:"eject_buf,omitempty"`       // NI eject buffering (default 8)
 }
 
 // DefaultConfig returns the paper's 64-core configuration (Table 1):

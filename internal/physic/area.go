@@ -33,9 +33,9 @@ func (k BufferKind) cellMM2PerBit() float64 {
 
 // Breakdown is a NoC area report in mm², split the way Figure 8 splits it.
 type Breakdown struct {
-	Links    float64 // repeater area of all links
-	Buffers  float64 // input buffering
-	Crossbar float64 // switch fabric
+	Links    float64 `json:"links_mm2"`    // repeater area of all links
+	Buffers  float64 `json:"buffers_mm2"`  // input buffering
+	Crossbar float64 `json:"crossbar_mm2"` // switch fabric
 }
 
 // Total returns the summed area.

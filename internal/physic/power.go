@@ -11,9 +11,9 @@ import (
 // Power is a NoC power report in watts, split by component. As in §6.4,
 // link energy dominates all three organizations.
 type Power struct {
-	LinkW    float64 // wire + repeater switching
-	RouterW  float64 // buffers, switch, arbitration
-	LeakageW float64 // static power of the NoC logic area
+	LinkW    float64 `json:"link_w"`    // wire + repeater switching
+	RouterW  float64 `json:"router_w"`  // buffers, switch, arbitration
+	LeakageW float64 `json:"leakage_w"` // static power of the NoC logic area
 }
 
 // Total returns the summed power.

@@ -1,0 +1,39 @@
+package workload
+
+import "testing"
+
+func TestRegister(t *testing.T) {
+	defer func() { registered = nil }()
+
+	if err := Register(Params{}); err == nil {
+		t.Fatal("empty name must be rejected")
+	}
+	if err := Register(Params{Name: "Web Search"}); err == nil {
+		t.Fatal("duplicate of a builtin must be rejected")
+	}
+
+	p := DataServing
+	p.Name = "Key-Value Store"
+	p.MaxCores = 0 // should default
+	if err := Register(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := Register(p); err == nil {
+		t.Fatal("duplicate of a registered workload must be rejected")
+	}
+
+	got, err := ByName("Key-Value Store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MaxCores != 64 {
+		t.Fatalf("MaxCores should default to 64, got %d", got.MaxCores)
+	}
+	all := All()
+	if all[len(all)-1].Name != "Key-Value Store" {
+		t.Fatalf("registered workload missing from All(): %v", all)
+	}
+	if len(all) != len(Builtin())+1 {
+		t.Fatalf("All() = %d workloads", len(all))
+	}
+}

@@ -22,6 +22,7 @@ package workload
 
 import (
 	"fmt"
+	"sync"
 
 	"nocout/internal/cpu"
 	"nocout/internal/sim"
@@ -109,9 +110,54 @@ var (
 	}
 )
 
-// All returns the evaluation suite in the paper's figure order.
-func All() []Params {
+// Builtin returns the paper's six-workload evaluation suite in figure
+// order, excluding Register-ed workloads — the set the Figure* studies
+// must sweep to stay comparable with the paper.
+func Builtin() []Params {
 	return []Params{DataServing, MapReduceC, MapReduceW, SATSolver, WebFrontend, WebSearch}
+}
+
+// registered holds workloads added through Register, in registration
+// order, after the builtin suite. regMu guards it: Register may be
+// called from any goroutine, concurrently with readers like All/ByName.
+var (
+	regMu      sync.RWMutex
+	registered []Params
+)
+
+// Register adds a workload to the suite so that every name-based entry
+// point (ByName, sweep specs, CLI flags) can resolve it without
+// switch-casing strings. The name must be non-empty and unique;
+// MaxCores defaults to 64 when unset. Safe for concurrent use.
+func Register(p Params) error {
+	if p.Name == "" {
+		return fmt.Errorf("workload: Register needs a name")
+	}
+	if p.MaxCores <= 0 {
+		p.MaxCores = 64
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	for _, w := range Builtin() {
+		if w.Name == p.Name {
+			return fmt.Errorf("workload: %q is already registered", p.Name)
+		}
+	}
+	for _, w := range registered {
+		if w.Name == p.Name {
+			return fmt.Errorf("workload: %q is already registered", p.Name)
+		}
+	}
+	registered = append(registered, p)
+	return nil
+}
+
+// All returns the evaluation suite in the paper's figure order, followed
+// by any Register-ed workloads in registration order.
+func All() []Params {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return append(Builtin(), registered...)
 }
 
 // ByName returns the workload with the given name.

@@ -8,18 +8,35 @@
 // CloudSuite-like synthetic scale-out workloads, and calibrated area/energy
 // models needed to regenerate every figure of the paper's evaluation.
 //
-// Quick start:
+// A single measurement:
 //
 //	cfg := nocout.DefaultConfig(nocout.NOCOut)
 //	res, err := nocout.Run(cfg, "Web Search", nocout.Quick)
 //	fmt.Println(res)
 //
-// The Figure* functions regenerate the paper's evaluation; see
-// EXPERIMENTS.md for paper-vs-measured results.
+// Studies are declarative sweeps over the experiment engine: an
+// Experiment (functional options) expands to a Sweep of Points, a Runner
+// measures them on a bounded worker pool with context cancellation, and
+// the structured Report renders as a text table, JSON, or CSV:
+//
+//	rep, err := nocout.NewExperiment(
+//		nocout.WithDesigns(nocout.Mesh, nocout.NOCOut),
+//		nocout.WithWorkloads("Data Serving"),
+//		nocout.WithCoreCounts(16, 32, 64),
+//		nocout.WithQuality(nocout.Quick),
+//	).Run(ctx)
+//	fmt.Println(rep.Table())
+//
+// The Figure* functions are such sweep specs and regenerate the paper's
+// evaluation; see EXPERIMENTS.md for the catalog and paper-vs-measured
+// results.
 package nocout
 
 import (
+	"context"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"nocout/internal/chip"
 	"nocout/internal/core"
@@ -52,9 +69,9 @@ func DefaultConfig(d Design) Config { return chip.DefaultConfig(d) }
 
 // Quality selects the simulation effort of an experiment.
 type Quality struct {
-	Warmup sim.Cycle
-	Window sim.Cycle
-	Seeds  int
+	Warmup sim.Cycle `json:"warmup"`
+	Window sim.Cycle `json:"window"`
+	Seeds  int       `json:"seeds"`
 }
 
 // Standard effort levels. Quick is suitable for tests and benchmarks; Full
@@ -64,8 +81,11 @@ var (
 	Full  = Quality{Warmup: 30000, Window: 50000, Seeds: 3}
 )
 
-// Workloads returns the names of the six evaluated scale-out workloads in
-// the paper's figure order.
+// Workloads returns the names of the paper's six scale-out workloads in
+// figure order, followed by any RegisterWorkload-ed additions. The
+// Figure* studies always sweep just the six (so registered workloads
+// never shift regenerated paper numbers); a default Experiment with no
+// WithWorkloads sweeps this full list.
 func Workloads() []string {
 	var names []string
 	for _, w := range workload.All() {
@@ -76,20 +96,20 @@ func Workloads() []string {
 
 // Result summarizes one measured run.
 type Result struct {
-	Design      Design
-	Workload    string
-	ActiveCores int
+	Design      Design `json:"design"`
+	Workload    string `json:"workload"`
+	ActiveCores int    `json:"active_cores"`
 
-	AggIPC     float64 // system throughput: committed instructions / cycle
-	PerCoreIPC float64
+	AggIPC     float64 `json:"agg_ipc"` // system throughput: committed instructions / cycle
+	PerCoreIPC float64 `json:"per_core_ipc"`
 
-	AvgNetLatency float64 // cycles, all message classes
-	SnoopRate     float64 // fraction of LLC accesses triggering a snoop
-	LLCMissRate   float64
-	L1IMPKI       float64
-	L1DMPKI       float64
+	AvgNetLatency float64 `json:"avg_net_latency_cy"` // cycles, all message classes
+	SnoopRate     float64 `json:"snoop_rate"`         // fraction of LLC accesses triggering a snoop
+	LLCMissRate   float64 `json:"llc_miss_rate"`
+	L1IMPKI       float64 `json:"l1i_mpki"`
+	L1DMPKI       float64 `json:"l1d_mpki"`
 
-	NoCPower physic.Power
+	NoCPower physic.Power `json:"noc_power"`
 }
 
 // String formats the headline numbers.
@@ -121,35 +141,90 @@ func RunUnlimited(cfg Config, workloadName string, q Quality) (Result, error) {
 	return runW(cfg, w, q), nil
 }
 
-// runW is the internal entry point used by the experiment harness.
+// runW is the internal single-point entry used by Run/RunUnlimited.
 func runW(cfg Config, w workload.Params, q Quality) Result {
-	var agg, lat, snoop, miss, impki, dmpki float64
-	var res Result
-	for s := 0; s < q.Seeds; s++ {
-		cfg.Seed = cfg.Seed + uint64(s)*7919
-		c := chip.New(cfg, w)
-		c.PrewarmCaches()
-		c.Warmup(q.Warmup)
-		c.Run(q.Window)
-		m := c.Metrics()
-		agg += m.AggIPC
-		lat += m.AvgNetLatency
-		snoop += m.Dir.SnoopRate()
-		miss += m.Dir.MissRate()
-		impki += m.L1IMPKI
-		dmpki += m.L1DMPKI
-		if s == 0 {
-			res = Result{
-				Design:      cfg.Design,
-				Workload:    w.Name,
-				ActiveCores: m.ActiveCores,
-				NoCPower:    powerOf(c, cfg, int64(q.Window)),
-			}
-		}
+	return runSeeds(context.Background(), cfg, w, q)
+}
+
+// seedRun holds one seed's measurements.
+type seedRun struct {
+	agg, lat, snoop, miss, impki, dmpki float64
+	res                                 Result
+}
+
+// simSlots bounds the number of chip simulations in flight across the
+// whole process: the Runner's worker pool and runSeeds' per-seed fan-out
+// both draw from it, so a Full-quality sweep (3 seeds/point) cannot
+// oversubscribe the machine the way points × seeds goroutines would.
+var simSlots = make(chan struct{}, runtime.NumCPU())
+
+// runSeeds is the engine's measurement kernel: it runs q.Seeds
+// independent simulations of cfg under w in parallel (bounded by
+// simSlots) and averages them. Seed s always runs with base+s*7919
+// (derived from the configured base, not compounded across iterations),
+// and the averaging order is fixed, so the result is deterministic for
+// any scheduling. A cancelled ctx makes the result meaningless; callers
+// must check ctx.Err() and discard it.
+func runSeeds(ctx context.Context, cfg Config, w workload.Params, q Quality) Result {
+	if q.Seeds < 1 {
+		q.Seeds = 1
 	}
+	base := cfg.Seed
+	outs := make([]seedRun, q.Seeds)
+	var wg sync.WaitGroup
+	for s := 0; s < q.Seeds; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			if ctx.Err() != nil {
+				return
+			}
+			simSlots <- struct{}{}
+			defer func() { <-simSlots }()
+			if ctx.Err() != nil {
+				return
+			}
+			scfg := cfg
+			scfg.Seed = base + uint64(s)*7919
+			c := chip.New(scfg, w)
+			c.PrewarmCaches()
+			c.Warmup(q.Warmup)
+			c.Run(q.Window)
+			m := c.Metrics()
+			o := &outs[s]
+			o.agg = m.AggIPC
+			o.lat = m.AvgNetLatency
+			o.snoop = m.Dir.SnoopRate()
+			o.miss = m.Dir.MissRate()
+			o.impki = m.L1IMPKI
+			o.dmpki = m.L1DMPKI
+			if s == 0 {
+				o.res = Result{
+					Design:      cfg.Design,
+					Workload:    w.Name,
+					ActiveCores: m.ActiveCores,
+					NoCPower:    powerOf(c, scfg, int64(q.Window)),
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	var agg, lat, snoop, miss, impki, dmpki float64
+	for s := range outs {
+		agg += outs[s].agg
+		lat += outs[s].lat
+		snoop += outs[s].snoop
+		miss += outs[s].miss
+		impki += outs[s].impki
+		dmpki += outs[s].dmpki
+	}
+	res := outs[0].res
 	n := float64(q.Seeds)
 	res.AggIPC = agg / n
-	res.PerCoreIPC = res.AggIPC / float64(res.ActiveCores)
+	if res.ActiveCores > 0 {
+		res.PerCoreIPC = res.AggIPC / float64(res.ActiveCores)
+	}
 	res.AvgNetLatency = lat / n
 	res.SnoopRate = snoop / n
 	res.LLCMissRate = miss / n

@@ -1,0 +1,42 @@
+package nocout
+
+import (
+	"fmt"
+	"strings"
+
+	"nocout/internal/chip"
+	"nocout/internal/workload"
+)
+
+// This file is the engine's name registry: every string a CLI flag or
+// config file can carry (designs, quality levels, workloads) resolves
+// here, so commands and examples never switch-case names themselves.
+
+// ParseDesign resolves a design from its figure name or CLI shorthand:
+// mesh | fbfly | flattened-butterfly | nocout | noc-out | ideal.
+func ParseDesign(s string) (Design, error) { return chip.ParseDesign(s) }
+
+// ParseQuality resolves a simulation effort level by name:
+// quick | full.
+func ParseQuality(s string) (Quality, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "quick":
+		return Quick, nil
+	case "full":
+		return Full, nil
+	}
+	return Quality{}, fmt.Errorf("nocout: unknown quality %q (want quick | full)", s)
+}
+
+// Workload characterizes one scale-out workload; see the fields of
+// internal/workload.Params. Custom workloads are added with
+// RegisterWorkload and then usable anywhere a workload name is: Run,
+// WithWorkloads, and the commands' -workload flags.
+type Workload = workload.Params
+
+// WorkloadByName resolves a workload, built-in or registered.
+func WorkloadByName(name string) (Workload, error) { return workload.ByName(name) }
+
+// RegisterWorkload adds a custom workload to the suite. The name must be
+// non-empty and unique; MaxCores defaults to 64 when unset.
+func RegisterWorkload(w Workload) error { return workload.Register(w) }

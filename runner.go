@@ -1,0 +1,82 @@
+package nocout
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Runner executes a Sweep across a bounded worker pool. The zero value is
+// ready to use: all CPUs, no progress reporting.
+type Runner struct {
+	// Workers bounds the number of points measured concurrently;
+	// <= 0 means runtime.NumCPU(). Results are identical for any
+	// worker count — points are independent and deterministic.
+	Workers int
+
+	// Progress, when set, is called after each point completes with the
+	// running completion count. Calls are serialized but not ordered by
+	// point index.
+	Progress func(done, total int, p Point, r Result)
+}
+
+// Run measures every point of the sweep and returns the Report, with
+// results in sweep order regardless of scheduling. It stops early and
+// returns ctx.Err() when the context is cancelled mid-sweep.
+func (rn *Runner) Run(ctx context.Context, sw Sweep) (*Report, error) {
+	workers := rn.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > sw.Len() {
+		workers = sw.Len()
+	}
+
+	results := make([]Result, sw.Len())
+	var progressMu sync.Mutex
+	done := 0
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				p := sw.Points[i]
+				r := runSeeds(ctx, p.Config, p.wl, sw.Quality)
+				if ctx.Err() != nil {
+					return
+				}
+				results[i] = r
+				// Count and report under one lock so Progress sees a
+				// monotonically increasing done count.
+				progressMu.Lock()
+				done++
+				if rn.Progress != nil {
+					rn.Progress(done, sw.Len(), p, r)
+				}
+				progressMu.Unlock()
+			}
+		}()
+	}
+
+feed:
+	for i := 0; i < sw.Len(); i++ {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	rep := &Report{Title: sw.Title, Quality: sw.Quality, Results: make([]PointResult, sw.Len())}
+	for i, p := range sw.Points {
+		rep.Results[i] = PointResult{Point: p, Result: results[i]}
+	}
+	return rep, nil
+}
