@@ -1,12 +1,13 @@
-// Command nocout runs one CMP configuration under one scale-out workload
-// and prints the measured metrics, as text or as a machine-readable
-// Report (-json).
+// Command nocout runs one CMP configuration — or a sweep of interconnect
+// designs — under one scale-out workload and prints the measured metrics,
+// as text or as a machine-readable Report (-json).
 //
 // Usage:
 //
 //	nocout -design nocout -workload "Web Search" -quality full
 //	nocout -design mesh -cores 64 -linkbits 64 -workload "Data Serving"
-//	nocout -design nocout -workload "Web Search" -json
+//	nocout -designs mesh,torus,cmesh,crossbar -workload "MapReduce-C"
+//	nocout -list
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 
 	"nocout"
 )
@@ -24,9 +26,10 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("nocout: ")
 
-	design := flag.String("design", "nocout", "interconnect: mesh | fbfly | nocout | ideal")
+	design := flag.String("design", "nocout", "interconnect organization (see -list)")
+	designs := flag.String("designs", "", "comma-separated design sweep, overrides -design (see -list)")
 	wl := flag.String("workload", "Web Search", "workload name (see -list)")
-	list := flag.Bool("list", false, "list workloads and exit")
+	list := flag.Bool("list", false, "list registered designs and workloads, then exit")
 	cores := flag.Int("cores", 64, "core count (power of two)")
 	linkBits := flag.Int("linkbits", 128, "NoC link width in bits")
 	quality := flag.String("quality", "quick", "quick | full")
@@ -35,34 +38,59 @@ func main() {
 	flag.Parse()
 
 	if *list {
+		// Both namespaces come from the registries, so user registrations
+		// show up here with no CLI changes.
+		fmt.Println("designs:")
+		for _, d := range nocout.Designs() {
+			org, err := nocout.OrganizationOf(d)
+			if err != nil {
+				log.Fatal(err)
+			}
+			aliases := append([]string{strings.ToLower(org.Name())}, org.Aliases()...)
+			fmt.Printf("  %-22s aliases: %s\n", org.Name(), strings.Join(aliases, ", "))
+		}
+		fmt.Println("workloads:")
 		for _, w := range nocout.Workloads() {
-			fmt.Println(w)
+			fmt.Printf("  %s\n", w)
 		}
 		return
 	}
 
-	d, err := nocout.ParseDesign(*design)
-	if err != nil {
-		log.Fatal(err)
+	names := []string{*design}
+	if *designs != "" {
+		names = strings.Split(*designs, ",")
+	}
+	var ds []nocout.Design
+	for _, name := range names {
+		d, err := nocout.ParseDesign(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ds = append(ds, d)
 	}
 	q, err := nocout.ParseQuality(*quality)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	cfg := nocout.DefaultConfig(d)
-	cfg.Cores = *cores
-	cfg.LinkBits = *linkBits
-	cfg.Seed = *seed
+	opts := []nocout.Option{
+		nocout.WithTitle(fmt.Sprintf("%s / %s", strings.Join(names, ","), *wl)),
+		nocout.WithWorkloads(*wl),
+		nocout.WithQuality(q),
+	}
+	cfgs := make([]nocout.Config, len(ds))
+	for i, d := range ds {
+		cfg := nocout.DefaultConfig(d)
+		cfg.Cores = *cores
+		cfg.LinkBits = *linkBits
+		cfg.Seed = *seed
+		cfgs[i] = cfg
+		opts = append(opts, nocout.WithVariant(d.String(), cfg))
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	rep, err := nocout.NewExperiment(
-		nocout.WithTitle(fmt.Sprintf("%v / %s", d, *wl)),
-		nocout.WithVariant(d.String(), cfg),
-		nocout.WithWorkloads(*wl),
-		nocout.WithQuality(q),
-	).Run(ctx)
+	rep, err := nocout.NewExperiment(opts...).Run(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -74,12 +102,19 @@ func main() {
 		return
 	}
 
-	res := rep.Results[0].Result
-	fmt.Println(res)
-	fmt.Printf("  LLC miss rate: %.1f%%   L1-I MPKI: %.1f   L1-D MPKI: %.1f\n",
-		res.LLCMissRate*100, res.L1IMPKI, res.L1DMPKI)
-	if d != nocout.Ideal {
-		fmt.Printf("  NoC area: %v\n", nocout.Area(cfg))
-		fmt.Printf("  NoC power: %v\n", res.NoCPower)
+	if len(ds) > 1 {
+		fmt.Println(rep.Table())
+	}
+	for i, d := range ds {
+		res := rep.MustGet(d.String(), *wl, 0)
+		if len(ds) == 1 {
+			fmt.Println(res)
+			fmt.Printf("  LLC miss rate: %.1f%%   L1-I MPKI: %.1f   L1-D MPKI: %.1f\n",
+				res.LLCMissRate*100, res.L1IMPKI, res.L1DMPKI)
+		}
+		if area := nocout.Area(cfgs[i]); area.Total() > 0 {
+			fmt.Printf("  %s NoC area: %v\n", d, area)
+			fmt.Printf("  %s NoC power: %v\n", d, res.NoCPower)
+		}
 	}
 }

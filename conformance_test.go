@@ -1,0 +1,200 @@
+package nocout
+
+import (
+	"reflect"
+	"testing"
+)
+
+// confQ is the conformance suite's minimal deterministic measurement.
+var confQ = Quality{Warmup: 3000, Window: 5000, Seeds: 1}
+
+// TestDesignRegistryComplete pins the registered design space: the paper's
+// four plus the extension organizations, in stable handle order.
+func TestDesignRegistryComplete(t *testing.T) {
+	ds := Designs()
+	if len(ds) < 7 {
+		t.Fatalf("registry has %d designs, want >= 7", len(ds))
+	}
+	want := []Design{Mesh, FBfly, NOCOut, Ideal, Torus, CMesh, Crossbar}
+	names := []string{"Mesh", "Flattened Butterfly", "NOC-Out", "Ideal", "Torus", "CMesh", "Crossbar"}
+	for i, d := range want {
+		if ds[i] != d {
+			t.Errorf("Designs()[%d] = %v, want %v", i, ds[i], d)
+		}
+		if d.String() != names[i] {
+			t.Errorf("%v.String() = %q, want %q", d, d.String(), names[i])
+		}
+	}
+}
+
+// TestDesignConformance is the cross-design contract: every registered
+// organization round-trips through the name registry, reports a coherent
+// area model, builds at 16/32/64 cores, and measures deterministically.
+func TestDesignConformance(t *testing.T) {
+	for _, d := range Designs() {
+		d := d
+		t.Run(d.String(), func(t *testing.T) {
+			t.Parallel()
+			org, err := OrganizationOf(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Name round-trips: figure name, aliases, MarshalText.
+			if got, err := ParseDesign(d.String()); err != nil || got != d {
+				t.Fatalf("ParseDesign(%q) = (%v, %v)", d.String(), got, err)
+			}
+			for _, a := range org.Aliases() {
+				if got, err := ParseDesign(a); err != nil || got != d {
+					t.Fatalf("alias %q = (%v, %v), want %v", a, got, err, d)
+				}
+			}
+			txt, err := d.MarshalText()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var back Design
+			if err := back.UnmarshalText(txt); err != nil || back != d {
+				t.Fatalf("text round-trip %q = (%v, %v)", txt, back, err)
+			}
+
+			// Area model: explicit everywhere, zero only for the wire-only
+			// Ideal fabric.
+			area, _, err := AreaModel(DefaultConfig(d))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d == Ideal {
+				if area.Total() != 0 {
+					t.Fatalf("Ideal must model zero NoC area, got %v", area)
+				}
+			} else if area.Total() <= 0 {
+				t.Fatalf("area must be positive, got %v", area)
+			}
+
+			for _, n := range []int{16, 32, 64} {
+				cfg := DefaultConfig(d)
+				cfg.Cores = n
+
+				// The built fabric exposes routers for energy accounting.
+				fab := org.Build(cfg)
+				if d == Ideal {
+					if len(fab.Routers) != 0 {
+						t.Fatalf("ideal fabric has %d routers", len(fab.Routers))
+					}
+				} else if len(fab.Routers) == 0 {
+					t.Fatalf("%d-core fabric reports no routers", n)
+				}
+
+				res, err := Run(cfg, "MapReduce-C", confQ)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.ActiveCores != n || res.AggIPC <= 0 || res.PerCoreIPC <= 0 {
+					t.Fatalf("%d cores: implausible result %+v", n, res)
+				}
+				if res.AvgNetLatency <= 0 {
+					t.Fatalf("%d cores: no network latency measured", n)
+				}
+				// Same seed, same Result — bit for bit.
+				again, err := Run(cfg, "MapReduce-C", confQ)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(res, again) {
+					t.Fatalf("%d cores: nondeterministic:\n%+v\n%+v", n, res, again)
+				}
+			}
+		})
+	}
+}
+
+// TestSolveWidthForArea pins Figure 9's equal-area solver on its
+// registry-backed home: solved widths fit the budget, are maximal, and
+// reproduce the paper's headline (fbfly's bandwidth collapses, the mesh's
+// shrinks mildly).
+func TestSolveWidthForArea(t *testing.T) {
+	budget := Area(DefaultConfig(NOCOut)).Total()
+	atWidth := func(d Design, w int) float64 {
+		cfg := DefaultConfig(d)
+		cfg.LinkBits = w
+		return Area(cfg).Total()
+	}
+	for _, d := range []Design{Mesh, FBfly} {
+		w, area := SolveWidthForArea(d, budget)
+		if area.Total() > budget {
+			t.Fatalf("%v: solved area %.2f exceeds budget %.2f", d, area.Total(), budget)
+		}
+		if over := atWidth(d, w+8); over <= budget {
+			t.Fatalf("%v: width %d is not maximal (w+8 still fits)", d, w)
+		}
+	}
+	wm, _ := SolveWidthForArea(Mesh, budget)
+	wf, _ := SolveWidthForArea(FBfly, budget)
+	if wf >= wm {
+		t.Fatalf("fbfly equal-area width (%d) should be far below mesh's (%d)", wf, wm)
+	}
+	if ratio := 128 / wf; ratio < 4 {
+		t.Fatalf("fbfly width shrink = %dx, want >= 4x (paper ~7x)", ratio)
+	}
+	if wm < 64 {
+		t.Fatalf("mesh equal-area width = %d, should remain reasonably wide", wm)
+	}
+}
+
+// TestUnknownDesignHardErrors pins the satellite fix: no silent zero-area
+// fallback and no silently-building unknown design.
+func TestUnknownDesignHardErrors(t *testing.T) {
+	bad := Config{Design: Design(250), Cores: 16, LLCMB: 8, LLCWays: 16,
+		LinkBits: 128, MemChannels: 4, BankLat: 4, Seed: 1}
+	if _, _, err := AreaModel(bad); err == nil {
+		t.Fatal("AreaModel must reject an unregistered design")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Area must panic on an unregistered design")
+			}
+		}()
+		Area(bad)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("DefaultConfig must panic on an unregistered design")
+			}
+		}()
+		DefaultConfig(Design(250))
+	}()
+}
+
+// TestNewDesignsSweepThroughEngine drives the extension organizations
+// through the same declarative sweep path the Figure* studies use.
+func TestNewDesignsSweepThroughEngine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("covered design-by-design in TestDesignConformance")
+	}
+	rep, err := NewExperiment(
+		WithTitle("extension designs"),
+		WithDesigns(Mesh, Torus, CMesh, Crossbar),
+		WithWorkloads("SAT Solver"),
+		WithCoreCounts(16),
+		WithQuality(confQ),
+	).Run(t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mesh := rep.MustGet("Mesh", "SAT Solver", 16)
+	for _, d := range []Design{Torus, CMesh, Crossbar} {
+		res := rep.MustGet(d.String(), "SAT Solver", 16)
+		if res.AggIPC <= 0 {
+			t.Fatalf("%v never ran: %+v", d, res)
+		}
+		// All three are lower-diameter than the mesh at 16 cores; they
+		// must not be slower where the paper's background says they win.
+		if res.AvgNetLatency >= mesh.AvgNetLatency*1.2 {
+			t.Errorf("%v latency %.1f cy should be near or below mesh's %.1f cy",
+				d, res.AvgNetLatency, mesh.AvgNetLatency)
+		}
+	}
+}

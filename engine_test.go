@@ -259,6 +259,9 @@ func TestParseDesign(t *testing.T) {
 		"fbfly": FBfly, "flattened-butterfly": FBfly, "Flattened Butterfly": FBfly,
 		"nocout": NOCOut, "NOC-Out": NOCOut,
 		"ideal": Ideal,
+		"torus": Torus, "Torus": Torus,
+		"cmesh": CMesh, "concentrated-mesh": CMesh,
+		"crossbar": Crossbar, "xbar": Crossbar,
 	}
 	for s, want := range cases {
 		d, err := ParseDesign(s)
@@ -266,7 +269,7 @@ func TestParseDesign(t *testing.T) {
 			t.Errorf("ParseDesign(%q) = (%v, %v), want %v", s, d, err, want)
 		}
 	}
-	if _, err := ParseDesign("torus"); err == nil {
+	if _, err := ParseDesign("hypercube"); err == nil {
 		t.Fatal("unknown design must error")
 	}
 }

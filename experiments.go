@@ -292,8 +292,8 @@ type Figure9Result struct {
 // their area matches NOC-Out's, then the suite is re-run.
 func Figure9(q Quality) Figure9Result {
 	budget := physic.NOCOutTotalArea(core.DefaultConfig(), 128).Total()
-	wm, _ := physic.SolveWidthForArea("mesh", budget)
-	wf, _ := physic.SolveWidthForArea("fbfly", budget)
+	wm, _ := SolveWidthForArea(Mesh, budget)
+	wf, _ := SolveWidthForArea(FBfly, budget)
 
 	mesh := DefaultConfig(Mesh)
 	mesh.LinkBits = wm

@@ -1,16 +1,13 @@
 // Package chip assembles complete CMPs: cores with L1s, a distributed
-// LLC with directory, memory channels, and one of the four interconnect
-// organizations the paper evaluates (mesh, flattened butterfly, NOC-Out,
-// ideal). It also owns the measurement loop (warm-up + measurement window)
-// that stands in for the paper's SimFlex sampling.
+// LLC with directory, memory channels, and an interchangeable interconnect
+// organization resolved through the Organization registry (the paper's
+// mesh, flattened butterfly, NOC-Out, and ideal fabrics are builtin;
+// RegisterOrganization adds more). It also owns the measurement loop
+// (warm-up + measurement window) that stands in for the paper's SimFlex
+// sampling.
 package chip
 
 import (
-	"fmt"
-	"math"
-	"sort"
-	"strings"
-
 	"nocout/internal/coherence"
 	"nocout/internal/core"
 	"nocout/internal/cpu"
@@ -20,63 +17,6 @@ import (
 	"nocout/internal/topo"
 	"nocout/internal/workload"
 )
-
-// Design selects the interconnect organization.
-type Design uint8
-
-// The evaluated system organizations (§5.1).
-const (
-	Mesh Design = iota
-	FBfly
-	NOCOut
-	Ideal
-)
-
-// String returns the design name as used in the paper's figures.
-func (d Design) String() string {
-	switch d {
-	case Mesh:
-		return "Mesh"
-	case FBfly:
-		return "Flattened Butterfly"
-	case NOCOut:
-		return "NOC-Out"
-	case Ideal:
-		return "Ideal"
-	}
-	return fmt.Sprintf("Design(%d)", uint8(d))
-}
-
-// ParseDesign resolves a design from its common spellings: the figure
-// names ("Mesh", "Flattened Butterfly") and the CLI shorthands
-// (mesh | fbfly | flattened-butterfly | nocout | noc-out | ideal).
-func ParseDesign(s string) (Design, error) {
-	switch strings.ToLower(strings.TrimSpace(s)) {
-	case "mesh":
-		return Mesh, nil
-	case "fbfly", "flattened-butterfly", "flattened butterfly":
-		return FBfly, nil
-	case "nocout", "noc-out":
-		return NOCOut, nil
-	case "ideal":
-		return Ideal, nil
-	}
-	return 0, fmt.Errorf("chip: unknown design %q (want mesh | fbfly | nocout | ideal)", s)
-}
-
-// MarshalText encodes the design by name, so JSON reports read
-// "NOC-Out" instead of an opaque enum value.
-func (d Design) MarshalText() ([]byte, error) { return []byte(d.String()), nil }
-
-// UnmarshalText decodes any spelling ParseDesign accepts.
-func (d *Design) UnmarshalText(b []byte) error {
-	v, err := ParseDesign(string(b))
-	if err != nil {
-		return err
-	}
-	*d = v
-	return nil
-}
 
 // Config describes a CMP instance.
 type Config struct {
@@ -96,10 +36,10 @@ type Config struct {
 	BanksPerLLCTile int `json:"banks_per_llc_tile"`
 }
 
-// DefaultConfig returns the Table 1 64-core system for a design.
-func DefaultConfig(d Design) Config {
+// Table1Config returns the paper's Table 1 64-core CMP parameters with the
+// Design left unset; organizations use it as their common baseline.
+func Table1Config() Config {
 	return Config{
-		Design:          d,
 		Cores:           64,
 		LLCMB:           8,
 		LLCWays:         16,
@@ -109,6 +49,18 @@ func DefaultConfig(d Design) Config {
 		BanksPerLLCTile: 2,
 		Seed:            1,
 	}
+}
+
+// DefaultConfig returns a design's default system (Table 1 for the paper's
+// organizations). Unregistered designs are a hard error.
+func DefaultConfig(d Design) Config {
+	org, err := OrganizationOf(d)
+	if err != nil {
+		panic(err)
+	}
+	cfg := org.DefaultConfig()
+	cfg.Design = d
+	return cfg
 }
 
 // Chip is a fully assembled CMP bound to one workload.
@@ -123,16 +75,19 @@ type Chip struct {
 	Banks  []*coherence.Bank
 	MCs    []*mem.Controller
 
-	// Tiled-design state.
+	// Fabric is the organization's built interconnect and endpoint layout.
+	Fabric *Fabric
+	// Plan is the tiled floorplan when the organization has one.
 	Plan topo.Floorplan
-	// NOC-Out state.
+	// NocNet is set by the NOC-Out organization.
 	NocNet *core.Network
 
 	active int
 	pktID  uint64
 }
 
-// New builds a chip running workload w.
+// New builds a chip running workload w. The design's organization is
+// resolved through the registry; an unregistered design panics.
 func New(cfg Config, w workload.Params) *Chip {
 	if cfg.Cores < 1 {
 		panic("chip: need at least one core")
@@ -143,16 +98,18 @@ func New(cfg Config, w workload.Params) *Chip {
 	if cfg.BanksPerLLCTile == 0 {
 		cfg.BanksPerLLCTile = 2
 	}
-	c := &Chip{Cfg: cfg, Workload: w, Engine: sim.NewEngine()}
-	switch cfg.Design {
-	case Mesh, FBfly, Ideal:
-		c.buildTiled()
-	case NOCOut:
-		c.buildNOCOut()
-	default:
-		panic("chip: unknown design")
+	org, err := OrganizationOf(cfg.Design)
+	if err != nil {
+		panic(err)
 	}
-	c.buildCores()
+	c := &Chip{Cfg: cfg, Workload: w, Engine: sim.NewEngine()}
+	fab := org.Build(cfg)
+	c.Fabric = fab
+	c.Net = fab.Net
+	c.Plan = fab.Plan
+	c.NocNet = fab.NocNet
+	c.buildAgents(fab)
+	c.buildCores(fab.CoreOrder)
 	c.register()
 	return c
 }
@@ -161,29 +118,12 @@ func New(cfg Config, w workload.Params) *Chip {
 // scalability limit may disable some).
 func (c *Chip) ActiveCores() int { return c.active }
 
-// --- tiled designs (mesh, fbfly, ideal) -----------------------------------
-
-func (c *Chip) buildTiled() {
+// buildAgents attaches the protocol agents — LLC banks with directory
+// slices, memory controllers, and L1s — to the fabric's endpoint layout.
+func (c *Chip) buildAgents(fab *Fabric) {
 	cfg := c.Cfg
-	n := cfg.Cores
-	plan := topo.TiledFloorplan(n, float64(cfg.LLCMB))
-	c.Plan = plan
-	auxTiles := c.tiledMCNodes(plan)
-	switch cfg.Design {
-	case Mesh:
-		p := topo.DefaultMeshParams(plan)
-		p.AuxTiles = auxTiles
-		c.Net = topo.NewMesh(p)
-	case FBfly:
-		p := topo.DefaultFBflyParams(plan)
-		p.AuxTiles = auxTiles
-		c.Net = topo.NewFBfly(p)
-	case Ideal:
-		c.Net = topo.NewIdeal(plan, auxTiles...)
-	}
-
-	// One LLC bank (slice + directory) per tile.
-	bankBytes := cfg.LLCMB << 20 / n
+	nBanks := fab.NumBanks
+	bankBytes := cfg.LLCMB << 20 / nBanks
 	ways := cfg.LLCWays
 	for bankBytes/64/ways < 1 || (bankBytes/64/ways)&(bankBytes/64/ways-1) != 0 {
 		ways /= 2 // tiny slices: shrink associativity to keep sets 2^k
@@ -193,31 +133,30 @@ func (c *Chip) buildTiled() {
 	}
 	bcfg := coherence.BankConfig{
 		SizeBytes: bankBytes, Ways: ways, AccessLat: cfg.BankLat,
-		LinkBits: cfg.LinkBits, NumCores: n, Interleave: n,
-	}
-	// Memory channels are auxiliary endpoints numbered after the tiles.
-	mcNodes := make([]noc.NodeID, cfg.MemChannels)
-	for ch := range mcNodes {
-		mcNodes[ch] = noc.NodeID(n + ch)
+		LinkBits: cfg.LinkBits, NumCores: cfg.Cores, Interleave: nBanks,
 	}
 	mcNode := func(line uint64) (noc.NodeID, int) {
 		ch := channelOf(line, cfg.MemChannels)
-		return mcNodes[ch], ch
+		return fab.MCNodes[ch], ch
 	}
-	l1Node := func(coreID int) noc.NodeID { return noc.NodeID(coreID) }
-	bankNode := func(bank int) noc.NodeID { return noc.NodeID(bank) }
-	for b := 0; b < n; b++ {
-		c.Banks = append(c.Banks, coherence.NewBank(b, noc.NodeID(b), c.Net, bcfg, &c.pktID, mcNode, l1Node))
+	for b := 0; b < nBanks; b++ {
+		c.Banks = append(c.Banks, coherence.NewBank(b, fab.BankNode(b), c.Net, bcfg, &c.pktID, mcNode, fab.CoreNode))
 	}
 	for ch := 0; ch < cfg.MemChannels; ch++ {
-		mc := mem.NewController(ch, mcNodes[ch], c.Net, mem.DefaultConfig(), &c.pktID, bankNode)
+		mc := mem.NewController(ch, fab.MCNodes[ch], c.Net, mem.DefaultConfig(), &c.pktID, fab.BankNode)
 		c.MCs = append(c.MCs, mc)
 	}
-	c.buildL1s(n, l1Node, func(line uint64) (noc.NodeID, int) {
-		bank := int(line % uint64(n))
-		return noc.NodeID(bank), bank
-	})
-	c.installDispatchers(n + cfg.MemChannels)
+	l1cfg := coherence.DefaultL1Config()
+	l1cfg.LinkBits = cfg.LinkBits
+	home := func(line uint64) (noc.NodeID, int) {
+		bank := int(line % uint64(nBanks))
+		return fab.BankNode(bank), bank
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		l1 := coherence.NewL1(i, fab.CoreNode(i), c.Net, l1cfg, &c.pktID, home, fab.CoreNode)
+		c.L1s = append(c.L1s, l1)
+	}
+	c.installDispatchers(fab.NumNodes)
 }
 
 // channelOf interleaves lines across memory channels with a folded hash so
@@ -226,90 +165,6 @@ func (c *Chip) buildTiled() {
 func channelOf(line uint64, channels int) int {
 	h := line ^ line>>6 ^ line>>13 ^ line>>19 ^ line>>27
 	return int(h % uint64(channels))
-}
-
-// tiledMCNodes picks the memory-channel attach points: mid-height tiles on
-// the left and right die edges.
-func (c *Chip) tiledMCNodes(plan topo.Floorplan) []noc.NodeID {
-	nodes := make([]noc.NodeID, c.Cfg.MemChannels)
-	ys := []int{plan.Rows / 2, plan.Rows/2 - 1}
-	if ys[1] < 0 {
-		ys[1] = 0
-	}
-	xs := []int{0, plan.Cols - 1}
-	for ch := range nodes {
-		nodes[ch] = plan.Node(xs[ch%2], ys[(ch/2)%2])
-	}
-	return nodes
-}
-
-// --- NOC-Out ---------------------------------------------------------------
-
-func (c *Chip) buildNOCOut() {
-	cfg := c.Cfg
-	ncfg := cfg.NOCOut
-	if ncfg.Columns == 0 {
-		ncfg = core.DefaultConfig()
-	}
-	ncfg = ncfg.WithDefaults()
-	// Size the organization so core count matches.
-	if ncfg.NumCores() != cfg.Cores {
-		panic(fmt.Sprintf("chip: NOC-Out organization yields %d cores, config wants %d",
-			ncfg.NumCores(), cfg.Cores))
-	}
-	ncfg.MCCount = cfg.MemChannels
-	ncfg.BankPorts = cfg.BanksPerLLCTile
-	net := core.Build(ncfg)
-	c.Net = net
-	c.NocNet = net
-	ncfg = net.Cfg // with defaults filled
-
-	nBanks := ncfg.NumLLCTiles() * cfg.BanksPerLLCTile
-	bankBytes := cfg.LLCMB << 20 / nBanks
-	bcfg := coherence.BankConfig{
-		SizeBytes: bankBytes, Ways: cfg.LLCWays, AccessLat: cfg.BankLat,
-		LinkBits: cfg.LinkBits, NumCores: cfg.Cores, Interleave: nBanks,
-	}
-	bankTile := func(bank int) int { return bank / cfg.BanksPerLLCTile }
-	bankNodeOf := func(bank int) noc.NodeID {
-		t := bankTile(bank)
-		return ncfg.BankNode(t%ncfg.Columns, t/ncfg.Columns, bank%cfg.BanksPerLLCTile)
-	}
-	// Memory channels are dedicated-port endpoints on the LLC edge routers.
-	mcNodes := make([]noc.NodeID, cfg.MemChannels)
-	for ch := range mcNodes {
-		mcNodes[ch] = ncfg.MCNode(ch)
-	}
-	mcNode := func(line uint64) (noc.NodeID, int) {
-		ch := channelOf(line, cfg.MemChannels)
-		return mcNodes[ch], ch
-	}
-	coreNodeOf := func(coreID int) noc.NodeID {
-		return noc.NodeID(coreID / ncfg.Concentration)
-	}
-	for b := 0; b < nBanks; b++ {
-		c.Banks = append(c.Banks, coherence.NewBank(b, bankNodeOf(b), c.Net, bcfg, &c.pktID, mcNode, coreNodeOf))
-	}
-	for ch := 0; ch < cfg.MemChannels; ch++ {
-		mc := mem.NewController(ch, mcNodes[ch], c.Net, mem.DefaultConfig(), &c.pktID, bankNodeOf)
-		c.MCs = append(c.MCs, mc)
-	}
-	c.buildL1s(cfg.Cores, coreNodeOf, func(line uint64) (noc.NodeID, int) {
-		bank := int(line % uint64(nBanks))
-		return bankNodeOf(bank), bank
-	})
-	c.installDispatchers(ncfg.TotalNodes())
-}
-
-// --- shared assembly --------------------------------------------------------
-
-func (c *Chip) buildL1s(nCores int, l1Node func(int) noc.NodeID, home func(uint64) (noc.NodeID, int)) {
-	l1cfg := coherence.DefaultL1Config()
-	l1cfg.LinkBits = c.Cfg.LinkBits
-	for i := 0; i < nCores; i++ {
-		l1 := coherence.NewL1(i, l1Node(i), c.Net, l1cfg, &c.pktID, home, l1Node)
-		c.L1s = append(c.L1s, l1)
-	}
 }
 
 // installDispatchers wires every network node's delivery callback to the
@@ -331,17 +186,16 @@ func (c *Chip) installDispatchers(nNodes int) {
 }
 
 // buildCores instantiates the cores, enabling only the workload's
-// scalable subset placed nearest the LLC (§5.3).
-func (c *Chip) buildCores() {
+// scalable subset in the fabric's preference order (§5.3).
+func (c *Chip) buildCores(order []int) {
 	w := c.Workload
 	c.active = c.Cfg.Cores
 	if w.MaxCores > 0 && w.MaxCores < c.active {
 		c.active = w.MaxCores
 	}
-	enabled := c.preferredCoreOrder()
 	active := map[int]bool{}
 	for i := 0; i < c.active; i++ {
-		active[enabled[i]] = true
+		active[order[i]] = true
 	}
 	for i := 0; i < c.Cfg.Cores; i++ {
 		gen := workload.NewGenerator(w, i, c.Cfg.Seed)
@@ -350,38 +204,6 @@ func (c *Chip) buildCores() {
 		co.SetEnabled(active[i])
 		c.Cores = append(c.Cores, co)
 	}
-}
-
-// preferredCoreOrder ranks cores by proximity to the LLC: central tiles for
-// tiled designs (§5.3), LLC-adjacent rows for NOC-Out.
-func (c *Chip) preferredCoreOrder() []int {
-	n := c.Cfg.Cores
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
-	}
-	switch c.Cfg.Design {
-	case Mesh, FBfly, Ideal:
-		cx := float64(c.Plan.Cols-1) / 2
-		cy := float64(c.Plan.Rows-1) / 2
-		sort.SliceStable(order, func(a, b int) bool {
-			ax, ay := c.Plan.Coord(noc.NodeID(order[a]))
-			bx, by := c.Plan.Coord(noc.NodeID(order[b]))
-			// Chebyshev distance selects square central blocks ("the 16
-			// tiles in the center of the die", §5.3).
-			da := math.Max(math.Abs(float64(ax)-cx), math.Abs(float64(ay)-cy))
-			db := math.Max(math.Abs(float64(bx)-cx), math.Abs(float64(by)-cy))
-			return da < db
-		})
-	case NOCOut:
-		ncfg := c.NocNet.Cfg
-		sort.SliceStable(order, func(a, b int) bool {
-			_, _, ra := ncfg.CoreLoc(noc.NodeID(order[a] / ncfg.Concentration))
-			_, _, rb := ncfg.CoreLoc(noc.NodeID(order[b] / ncfg.Concentration))
-			return ra < rb
-		})
-	}
-	return order
 }
 
 func (c *Chip) register() {
@@ -445,19 +267,7 @@ type Metrics struct {
 
 // NetRouters returns the underlying routers of the chip's network (empty
 // for the ideal fabric), for energy accounting.
-func (c *Chip) NetRouters() []*noc.Router {
-	switch n := c.Net.(type) {
-	case *noc.RouterNetwork:
-		return n.Routers
-	case *core.Network:
-		var out []*noc.Router
-		out = append(out, n.RedNodes...)
-		out = append(out, n.DispNodes...)
-		out = append(out, n.LLCRouters...)
-		return out
-	}
-	return nil
-}
+func (c *Chip) NetRouters() []*noc.Router { return c.Fabric.Routers }
 
 // Metrics gathers the chip's counters.
 func (c *Chip) Metrics() Metrics {

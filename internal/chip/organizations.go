@@ -1,0 +1,163 @@
+package chip
+
+import (
+	"fmt"
+	"sort"
+
+	"nocout/internal/core"
+	"nocout/internal/noc"
+	"nocout/internal/physic"
+	"nocout/internal/topo"
+)
+
+// This file ports the paper's four organizations onto the Organization
+// interface. Each is a stateless value registered in organization.go's
+// init; extension designs (torus, cmesh, crossbar) live in the public
+// package and register through the same API.
+
+// --- Mesh (Figure 2) --------------------------------------------------------
+
+type meshOrg struct{}
+
+func (meshOrg) Name() string          { return "Mesh" }
+func (meshOrg) Aliases() []string     { return nil }
+func (meshOrg) DefaultConfig() Config { return Table1Config() }
+
+func (meshOrg) Build(cfg Config) *Fabric {
+	plan := topo.TiledFloorplan(cfg.Cores, float64(cfg.LLCMB))
+	p := topo.DefaultMeshParams(plan)
+	p.AuxTiles = topo.MCTiles(plan, cfg.MemChannels)
+	rn := topo.NewMesh(p)
+	return TiledFabric(cfg, plan, rn, rn.Routers)
+}
+
+func (meshOrg) AreaModel(cfg Config) (physic.Breakdown, physic.BufferKind) {
+	return physic.MeshArea(cfg.Cores, float64(cfg.LLCMB), cfg.LinkBits), physic.FlipFlop
+}
+
+// --- Flattened Butterfly (Figure 3) -----------------------------------------
+
+type fbflyOrg struct{}
+
+func (fbflyOrg) Name() string          { return "Flattened Butterfly" }
+func (fbflyOrg) Aliases() []string     { return []string{"fbfly", "flattened-butterfly"} }
+func (fbflyOrg) DefaultConfig() Config { return Table1Config() }
+
+func (fbflyOrg) Build(cfg Config) *Fabric {
+	plan := topo.TiledFloorplan(cfg.Cores, float64(cfg.LLCMB))
+	p := topo.DefaultFBflyParams(plan)
+	p.AuxTiles = topo.MCTiles(plan, cfg.MemChannels)
+	rn := topo.NewFBfly(p)
+	return TiledFabric(cfg, plan, rn, rn.Routers)
+}
+
+func (fbflyOrg) AreaModel(cfg Config) (physic.Breakdown, physic.BufferKind) {
+	// Deep per-distance buffers make SRAM cells the right circuit (§5.2).
+	return physic.FBflyArea(cfg.Cores, float64(cfg.LLCMB), cfg.LinkBits), physic.SRAM
+}
+
+// --- Ideal (Figure 1's wire-only fabric) ------------------------------------
+
+type idealOrg struct{}
+
+func (idealOrg) Name() string          { return "Ideal" }
+func (idealOrg) Aliases() []string     { return nil }
+func (idealOrg) DefaultConfig() Config { return Table1Config() }
+
+func (idealOrg) Build(cfg Config) *Fabric {
+	plan := topo.TiledFloorplan(cfg.Cores, float64(cfg.LLCMB))
+	aux := topo.MCTiles(plan, cfg.MemChannels)
+	return TiledFabric(cfg, plan, topo.NewIdeal(plan, aux...), nil)
+}
+
+func (idealOrg) AreaModel(cfg Config) (physic.Breakdown, physic.BufferKind) {
+	// The idealization exposes only wire delay: no routers, no buffers, no
+	// switches, and its wires route over logic — zero modelled NoC area by
+	// construction, not by fallback.
+	return physic.Breakdown{}, physic.FlipFlop
+}
+
+// --- NOC-Out (§4) -----------------------------------------------------------
+
+type nocoutOrg struct{}
+
+func (nocoutOrg) Name() string          { return "NOC-Out" }
+func (nocoutOrg) Aliases() []string     { return []string{"nocout"} }
+func (nocoutOrg) DefaultConfig() Config { return Table1Config() }
+
+// shape resolves the NOC-Out organization for cfg: an explicit Config.NOCOut
+// wins (and must match the core count); otherwise the paper baseline for 64
+// cores, or a near-square auto-shaped grid for other core counts.
+func (nocoutOrg) shape(cfg Config) core.Config {
+	ncfg := cfg.NOCOut
+	if ncfg.Columns == 0 {
+		ncfg = core.DefaultConfig()
+		if def := ncfg.WithDefaults(); def.NumCores() != cfg.Cores {
+			cols, rows := topo.GridFor(cfg.Cores)
+			if rows < 2 {
+				panic(fmt.Sprintf("chip: NOC-Out needs at least 4 cores, got %d", cfg.Cores))
+			}
+			ncfg.Columns = cols
+			ncfg.RowsPerSide = rows / 2
+		}
+	}
+	ncfg = ncfg.WithDefaults()
+	if ncfg.NumCores() != cfg.Cores {
+		panic(fmt.Sprintf("chip: NOC-Out organization yields %d cores, config wants %d",
+			ncfg.NumCores(), cfg.Cores))
+	}
+	return ncfg
+}
+
+func (o nocoutOrg) Build(cfg Config) *Fabric {
+	ncfg := o.shape(cfg)
+	ncfg.MCCount = cfg.MemChannels
+	ncfg.BankPorts = cfg.BanksPerLLCTile
+	net := core.Build(ncfg)
+	ncfg = net.Cfg // with defaults filled
+
+	nBanks := ncfg.NumLLCTiles() * cfg.BanksPerLLCTile
+	bankTile := func(bank int) int { return bank / cfg.BanksPerLLCTile }
+	bankNode := func(bank int) noc.NodeID {
+		t := bankTile(bank)
+		return ncfg.BankNode(t%ncfg.Columns, t/ncfg.Columns, bank%cfg.BanksPerLLCTile)
+	}
+	// Memory channels are dedicated-port endpoints on the LLC edge routers.
+	mcs := make([]noc.NodeID, cfg.MemChannels)
+	for ch := range mcs {
+		mcs[ch] = ncfg.MCNode(ch)
+	}
+	coreNode := func(coreID int) noc.NodeID {
+		return noc.NodeID(coreID / ncfg.Concentration)
+	}
+	// LLC-adjacent rows first when a workload enables a core subset (§5.3).
+	order := make([]int, cfg.Cores)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		_, _, ra := ncfg.CoreLoc(coreNode(order[a]))
+		_, _, rb := ncfg.CoreLoc(coreNode(order[b]))
+		return ra < rb
+	})
+
+	var routers []*noc.Router
+	routers = append(routers, net.RedNodes...)
+	routers = append(routers, net.DispNodes...)
+	routers = append(routers, net.LLCRouters...)
+	return &Fabric{
+		Net:       net,
+		Routers:   routers,
+		NumNodes:  ncfg.TotalNodes(),
+		NumBanks:  nBanks,
+		CoreNode:  coreNode,
+		BankNode:  bankNode,
+		MCNodes:   mcs,
+		CoreOrder: order,
+		NocNet:    net,
+	}
+}
+
+func (o nocoutOrg) AreaModel(cfg Config) (physic.Breakdown, physic.BufferKind) {
+	return physic.NOCOutTotalArea(o.shape(cfg), cfg.LinkBits), physic.FlipFlop
+}

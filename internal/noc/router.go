@@ -10,6 +10,15 @@ import (
 // router. It must be a pure function of the packet's destination.
 type RouteFunc func(p *Packet) int
 
+// HeadRoomFunc returns the minimum downstream credits a head flit needs to
+// claim output port out from input port in for a packet of the given size
+// (flits). Values below 1 mean the default of 1. Ring topologies use this
+// for bubble flow control: a packet continuing within a ring advances only
+// when the whole packet fits downstream (virtual cut-through), and a packet
+// entering a ring must additionally leave a maximum-packet bubble, so the
+// ring's channel-dependency cycle can never fill up and deadlock.
+type HeadRoomFunc func(in, out, size int) int
+
 // Cand names one (input port, virtual channel) pair; used to express static
 // arbitration priorities for NOC-Out tree nodes (§4.1: network responses >
 // local responses > network requests > local requests).
@@ -42,7 +51,10 @@ type Router struct {
 	rr       int    // rotating arbitration pointer
 	numVCs   int    // implemented VCs (area accounting); 0 = NumClasses
 	flits    int64  // flits routed through this router (energy accounting)
+	headRoom HeadRoomFunc
 	stats    *Stats
+
+	inUsed, outUsed []bool // per-cycle allocation scratch, sized to the radix
 }
 
 // NewRouter returns a router with no ports. Ports are added with AddIn /
@@ -59,6 +71,18 @@ func (r *Router) SetPriority(order []Cand) { r.prio = order }
 // SetRoute replaces the routing function (used by builders that need the
 // router allocated before the topology-wide tables exist).
 func (r *Router) SetRoute(f RouteFunc) { r.route = f }
+
+// SetHeadRoom installs a head-flit credit-threshold policy (see
+// HeadRoomFunc). Body flits are unaffected: once a head wins its output VC
+// the packet's remaining credits are reserved by VC ownership.
+func (r *Router) SetHeadRoom(f HeadRoomFunc) { r.headRoom = f }
+
+// SetOutLength records the physical length of output link out for the area
+// (repeaters) and energy (fJ/bit/mm) models, for links wired through
+// ConnectNI which carries no length (the crossbar's die-spanning spokes).
+func (r *Router) SetOutLength(out int, lengthMM float64) {
+	r.outs[out].lengthMM = lengthMM
+}
 
 // NumIn returns the number of input ports.
 func (r *Router) NumIn() int { return len(r.ins) }
@@ -196,7 +220,19 @@ func (r *Router) Tick(now sim.Cycle) {
 
 // allocate performs switch allocation for one cycle.
 func (r *Router) allocate(now sim.Cycle) {
-	var inUsed, outUsed [64]bool // routers never exceed 64 ports
+	// The scratch masks are sized to the actual radix (the central
+	// crossbar has a port per tile; a mesh router has at most 9).
+	if len(r.inUsed) != len(r.ins) {
+		r.inUsed = make([]bool, len(r.ins))
+	} else {
+		clear(r.inUsed)
+	}
+	if len(r.outUsed) != len(r.outs) {
+		r.outUsed = make([]bool, len(r.outs))
+	} else {
+		clear(r.outUsed)
+	}
+	inUsed, outUsed := r.inUsed, r.outUsed
 	cands := r.candidates()
 	n := len(cands)
 	if n == 0 {
@@ -231,14 +267,22 @@ func (r *Router) allocate(now sim.Cycle) {
 		}
 		// Packet atomicity: an output VC is owned by one packet from head
 		// to tail.
+		need := 1
 		if own := op.owner[cd.VC]; own != nil {
 			if own != f.Pkt {
 				continue
 			}
-		} else if !f.Head() {
-			continue // only a head flit may claim a free VC
+		} else {
+			if !f.Head() {
+				continue // only a head flit may claim a free VC
+			}
+			if r.headRoom != nil {
+				if n := r.headRoom(cd.Port, out, f.Pkt.Size); n > need {
+					need = n
+				}
+			}
 		}
-		if op.credits[cd.VC] <= 0 {
+		if op.credits[cd.VC] < need {
 			continue
 		}
 		// Grant.

@@ -113,31 +113,30 @@ func NOCOutTotalArea(cfg core.Config, linkBits int) Breakdown {
 	return r.Add(d).Add(l)
 }
 
-// DesignArea returns a design's total NoC area at a link width, using the
-// Table 1 organizations.
-func DesignArea(design string, linkBits int) Breakdown {
-	switch design {
-	case "mesh":
-		return MeshArea(64, 8, linkBits)
-	case "fbfly":
-		return FBflyArea(64, 8, linkBits)
-	case "nocout":
-		return NOCOutTotalArea(core.DefaultConfig(), linkBits)
-	}
-	panic(fmt.Sprintf("physic: unknown design %q", design))
+// TorusArea returns the NoC area of the folded 2-D torus: mesh-class
+// routers with deeper ring buffers (bubble flow control) and a link budget
+// of two tile pitches per hop.
+func TorusArea(cores int, llcMB float64, linkBits int) Breakdown {
+	plan := topo.TiledFloorplan(cores, llcMB)
+	p := topo.DefaultTorusParams(plan)
+	p.MaxPktFlits = noc.FlitsFor(64, linkBits)
+	n := topo.NewTorus(p)
+	return RoutersArea(n.Routers, linkBits, FlipFlop)
 }
 
-// SolveWidthForArea finds the widest power-of-two-ish link width (multiple
-// of 8 bits, at least 8) whose area does not exceed budget mm² — Figure 9's
-// equal-area normalization. It reports the width and the achieved area.
-func SolveWidthForArea(design string, budgetMM2 float64) (linkBits int, area Breakdown) {
-	best := 8
-	bestArea := DesignArea(design, best)
-	for w := 8; w <= 512; w += 8 {
-		a := DesignArea(design, w)
-		if a.Total() <= budgetMM2 {
-			best, bestArea = w, a
-		}
-	}
-	return best, bestArea
+// CMeshArea returns the NoC area of the 4:1 concentrated mesh: a quarter
+// of the mesh's routers at higher radix, with links at twice the pitch.
+func CMeshArea(cores int, llcMB float64, linkBits int) Breakdown {
+	plan := topo.TiledFloorplan(cores, llcMB)
+	n := topo.NewCMesh(topo.DefaultCMeshParams(plan))
+	return RoutersArea(n.Routers, linkBits, FlipFlop)
+}
+
+// CrossbarArea returns the NoC area of the central crossbar: one switch
+// whose matrix grows quadratically with the tile count (§2.2), plus the
+// die-spanning spokes to every tile.
+func CrossbarArea(cores int, llcMB float64, linkBits int) Breakdown {
+	plan := topo.TiledFloorplan(cores, llcMB)
+	n := topo.NewCrossbar(topo.DefaultCrossbarParams(plan))
+	return RoutersArea(n.Routers, linkBits, FlipFlop)
 }

@@ -80,29 +80,44 @@ func TestAreaScalesWithWidth(t *testing.T) {
 	}
 }
 
-func TestSolveWidthForArea(t *testing.T) {
-	budget := NOCOutTotalArea(core.DefaultConfig(), 128).Total()
-	for _, d := range []string{"mesh", "fbfly"} {
-		w, area := SolveWidthForArea(d, budget)
-		if area.Total() > budget {
-			t.Fatalf("%s: solved area %.2f exceeds budget %.2f", d, area.Total(), budget)
+func TestExtendedDesignAreas(t *testing.T) {
+	mesh := MeshArea(64, 8, 128)
+	torus := TorusArea(64, 8, 128)
+	cmesh := CMeshArea(64, 8, 128)
+	xbar := CrossbarArea(64, 8, 128)
+	for _, c := range []struct {
+		name string
+		b    Breakdown
+	}{{"torus", torus}, {"cmesh", cmesh}, {"crossbar", xbar}} {
+		if c.b.Total() <= 0 {
+			t.Errorf("%s area = %v, want positive", c.name, c.b)
 		}
-		if over := DesignArea(d, w+8); over.Total() <= budget {
-			t.Fatalf("%s: width %d is not maximal (w+8 still fits)", d, w)
-		}
 	}
-	// Figure 9's headline: fbfly's equal-area width collapses (paper:
-	// bandwidth shrinks ~7x); the mesh shrinks mildly.
-	wm, _ := SolveWidthForArea("mesh", budget)
-	wf, _ := SolveWidthForArea("fbfly", budget)
-	if wf >= wm {
-		t.Fatalf("fbfly equal-area width (%d) should be far below mesh's (%d)", wf, wm)
+	// The torus buys its halved diameter with folded two-tile links and the
+	// deep ring buffers bubble flow control needs: more area than the mesh.
+	if torus.Total() <= mesh.Total() {
+		t.Errorf("torus (%.2f) should out-cost the mesh (%.2f)", torus.Total(), mesh.Total())
 	}
-	if ratio := 128 / wf; ratio < 4 {
-		t.Fatalf("fbfly width shrink = %dx, want >= 4x (paper ~7x)", ratio)
+	if torus.Links <= mesh.Links {
+		t.Errorf("folded torus links (%.2f) should exceed mesh links (%.2f)", torus.Links, mesh.Links)
 	}
-	if wm < 64 {
-		t.Fatalf("mesh equal-area width = %d, should remain reasonably wide", wm)
+	// Concentration trades router count for radix: fewer, larger routers
+	// with a smaller total buffer budget than the mesh.
+	if cmesh.Buffers >= mesh.Buffers {
+		t.Errorf("cmesh buffers (%.2f) should undercut mesh buffers (%.2f)", cmesh.Buffers, mesh.Buffers)
+	}
+	// §2.2: the central switch is what blows up at 64 tiles.
+	if xbar.Crossbar < mesh.Crossbar {
+		t.Errorf("64-port central switch (%.2f) should exceed the mesh's switch budget (%.2f)",
+			xbar.Crossbar, mesh.Crossbar)
+	}
+}
+
+func TestCrossbarAreaGrowsSuperlinearly(t *testing.T) {
+	a16 := CrossbarArea(16, 8, 128)
+	a64 := CrossbarArea(64, 8, 128)
+	if ratio := a64.Crossbar / a16.Crossbar; ratio < 10 {
+		t.Fatalf("central switch should grow quadratically with tiles: 64c/16c = %.1f", ratio)
 	}
 }
 
@@ -141,13 +156,4 @@ func TestBreakdownArithmetic(t *testing.T) {
 	if a.String() == "" {
 		t.Fatal("String empty")
 	}
-}
-
-func TestDesignAreaUnknownPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	DesignArea("torus", 128)
 }

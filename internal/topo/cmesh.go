@@ -1,0 +1,161 @@
+package topo
+
+import (
+	"fmt"
+
+	"nocout/internal/noc"
+	"nocout/internal/sim"
+)
+
+// CMeshParams configures a concentrated mesh: a 2x2 block of tiles shares
+// one router (4:1 concentration), so a 64-tile chip needs only 16 routers
+// at twice the link pitch. Radix grows (4 directions + 4 local ports) but
+// hop count and router count shrink — the classic CMP compromise between
+// the mesh's per-tile routers and the flattened butterfly's wire budget.
+type CMeshParams struct {
+	Plan      Floorplan // tile-granularity floorplan (Cols and Rows even)
+	BufFlits  int       // flits per VC per input port (default 5)
+	PipeDelay sim.Cycle // router pipeline (default 2)
+	LinkDelay sim.Cycle // per-hop link traversal (default 1)
+	EjectBuf  int       // NI eject buffering per VC (default 8)
+
+	// AuxTiles attaches auxiliary endpoints (memory controllers) through
+	// dedicated ports on the router serving the tile; entry k hosts aux
+	// node NumTiles+k.
+	AuxTiles []noc.NodeID
+}
+
+// DefaultCMeshParams returns the concentrated-mesh configuration on plan.
+func DefaultCMeshParams(plan Floorplan) CMeshParams {
+	return CMeshParams{Plan: plan, BufFlits: 5, PipeDelay: 2, LinkDelay: 1, EjectBuf: 8}
+}
+
+// CMeshConcentration is the tiles-per-router ratio (a 2x2 block).
+const CMeshConcentration = 4
+
+// NewCMesh builds the concentrated mesh with XY dimension-order routing
+// over the router grid. Tiles keep their floorplan NodeIDs; tile (x, y)
+// attaches to router (x/2, y/2) through a dedicated local port.
+func NewCMesh(p CMeshParams) *noc.RouterNetwork {
+	plan := p.Plan
+	if plan.Cols%2 != 0 || plan.Rows%2 != 0 {
+		panic(fmt.Sprintf("topo: cmesh needs an even tile grid, got %dx%d", plan.Cols, plan.Rows))
+	}
+	n := plan.NumTiles()
+	rCols, rRows := plan.Cols/2, plan.Rows/2
+	nr := rCols * rRows
+	// The router grid reuses Floorplan geometry at twice the tile pitch.
+	rplan := Floorplan{Cols: rCols, Rows: rRows, TileW: 2 * plan.TileW, TileH: 2 * plan.TileH}
+
+	rn := noc.NewRouterNetwork(fmt.Sprintf("cmesh%dx%d", rCols, rRows), n+len(p.AuxTiles))
+	routers := make([]*noc.Router, nr)
+	outIdx := make([][4]int, nr)
+	inIdx := make([][4]int, nr)
+	coreIn := make([][]int, nr) // per router: local port per concentrated tile
+	coreOut := make([][]int, nr)
+
+	// routerOf maps a tile to its router index and local-port slot.
+	routerOf := func(tile noc.NodeID) (ri, slot int) {
+		x, y := plan.Coord(tile)
+		return (y/2)*rCols + x/2, (y%2)*2 + x%2
+	}
+
+	for i := 0; i < nr; i++ {
+		x, y := i%rCols, i/rCols
+		r := noc.NewRouter(noc.NodeID(i), fmt.Sprintf("cmesh.r%d_%d", x, y), p.PipeDelay, nil, rn.StatsRef())
+		for d := 0; d < 4; d++ {
+			outIdx[i][d] = -1
+			inIdx[i][d] = -1
+		}
+		for d, ok := range meshNeighbors(rplan, x, y) {
+			if !ok {
+				continue
+			}
+			inIdx[i][d] = r.AddIn(dirName(d), p.BufFlits)
+			outIdx[i][d] = r.AddOut(dirName(d))
+		}
+		coreIn[i] = make([]int, CMeshConcentration)
+		coreOut[i] = make([]int, CMeshConcentration)
+		for k := 0; k < CMeshConcentration; k++ {
+			coreIn[i][k] = r.AddIn(fmt.Sprintf("c%d", k), p.BufFlits)
+			coreOut[i][k] = r.AddOut(fmt.Sprintf("c%d", k))
+		}
+		routers[i] = r
+	}
+
+	// Auxiliary endpoints: dedicated ports on the router serving the tile.
+	auxOut := make(map[int]map[int]int)
+	auxIn := make(map[int]map[int]int)
+	for k, tile := range p.AuxTiles {
+		ri, _ := routerOf(tile)
+		r := routers[ri]
+		if auxOut[ri] == nil {
+			auxOut[ri] = map[int]int{}
+			auxIn[ri] = map[int]int{}
+		}
+		auxIn[ri][k] = r.AddIn(fmt.Sprintf("aux%d", k), p.BufFlits)
+		auxOut[ri][k] = r.AddOut(fmt.Sprintf("aux%d", k))
+	}
+
+	// Routing: X first over the router grid, then Y, then the local port.
+	for i := 0; i < nr; i++ {
+		i := i
+		x, y := i%rCols, i/rCols
+		routers[i].SetRoute(func(pk *noc.Packet) int {
+			dst := pk.Dst
+			if int(dst) >= n {
+				k := int(dst) - n
+				ri, _ := routerOf(p.AuxTiles[k])
+				if ri == i {
+					return auxOut[i][k]
+				}
+				dst = p.AuxTiles[k]
+			}
+			ri, slot := routerOf(dst)
+			dx, dy := ri%rCols, ri/rCols
+			switch {
+			case dx > x:
+				return outIdx[i][dirE]
+			case dx < x:
+				return outIdx[i][dirW]
+			case dy > y:
+				return outIdx[i][dirS]
+			case dy < y:
+				return outIdx[i][dirN]
+			default:
+				return coreOut[i][slot]
+			}
+		})
+	}
+
+	// Wire neighbouring routers at the doubled pitch.
+	for i := 0; i < nr; i++ {
+		x, y := i%rCols, i/rCols
+		if outIdx[i][dirE] >= 0 {
+			j := (y)*rCols + x + 1
+			noc.Connect(routers[i], outIdx[i][dirE], routers[j], inIdx[j][dirW], p.LinkDelay, rplan.TileW)
+			noc.Connect(routers[j], outIdx[j][dirW], routers[i], inIdx[i][dirE], p.LinkDelay, rplan.TileW)
+		}
+		if outIdx[i][dirS] >= 0 {
+			j := (y+1)*rCols + x
+			noc.Connect(routers[i], outIdx[i][dirS], routers[j], inIdx[j][dirN], p.LinkDelay, rplan.TileH)
+			noc.Connect(routers[j], outIdx[j][dirN], routers[i], inIdx[i][dirS], p.LinkDelay, rplan.TileH)
+		}
+	}
+
+	// Tile NIs on their routers' local ports.
+	for t := 0; t < n; t++ {
+		ri, slot := routerOf(noc.NodeID(t))
+		ni := noc.NewNI(noc.NodeID(t), rn.StatsRef())
+		noc.ConnectNI(ni, routers[ri], coreIn[ri][slot], coreOut[ri][slot], 1, 1, p.EjectBuf)
+		rn.NIs[t] = ni
+	}
+	for k, tile := range p.AuxTiles {
+		ri, _ := routerOf(tile)
+		ni := noc.NewNI(noc.NodeID(n+k), rn.StatsRef())
+		noc.ConnectNI(ni, routers[ri], auxIn[ri][k], auxOut[ri][k], 1, 1, p.EjectBuf)
+		rn.NIs[n+k] = ni
+	}
+	rn.Routers = routers
+	return rn
+}

@@ -19,6 +19,11 @@ type CrossbarParams struct {
 	PipeDelay sim.Cycle // switch pipeline (default 2)
 	BufFlits  int       // per-VC input buffering (default 5)
 	EjectBuf  int
+
+	// AuxTiles attaches auxiliary endpoints (memory controllers) as extra
+	// crossbar ports; entry k is the tile position whose wire distance aux
+	// node NumTiles+k pays to reach the central switch.
+	AuxTiles []noc.NodeID
 }
 
 // DefaultCrossbarParams returns a T-series-like configuration.
@@ -26,27 +31,41 @@ func DefaultCrossbarParams(plan Floorplan) CrossbarParams {
 	return CrossbarParams{Plan: plan, PipeDelay: 2, BufFlits: 5, EjectBuf: 8}
 }
 
-// NewCrossbar builds a single-switch network over the floorplan.
+// NewCrossbar builds a single-switch network over the floorplan. Endpoint
+// k (tile or aux) owns switch port k, so routing is a table lookup.
 func NewCrossbar(p CrossbarParams) *noc.RouterNetwork {
 	plan := p.Plan
 	n := plan.NumTiles()
-	rn := noc.NewRouterNetwork(fmt.Sprintf("xbar%d", n), n)
+	rn := noc.NewRouterNetwork(fmt.Sprintf("xbar%d", n), n+len(p.AuxTiles))
 	r := noc.NewRouter(0, "xbar", p.PipeDelay, nil, rn.StatsRef())
 	r.SetRoute(func(pk *noc.Packet) int { return int(pk.Dst) })
 
-	// Wire length from each tile to the die center.
+	// Wire length from each endpoint's tile to the die center.
 	cx := float64(plan.Cols-1) / 2 * plan.TileW
 	cy := float64(plan.Rows-1) / 2 * plan.TileH
-	for i := 0; i < n; i++ {
-		x, y := plan.Coord(noc.NodeID(i))
+	spoke := func(tile noc.NodeID) float64 {
+		x, y := plan.Coord(tile)
 		dx := absF(float64(x)*plan.TileW - cx)
 		dy := absF(float64(y)*plan.TileH - cy)
-		wire := sim.Cycle(tech.WireCycles(dx + dy))
-		in := r.AddIn(fmt.Sprintf("t%d", i), p.BufFlits)
-		out := r.AddOut(fmt.Sprintf("t%d", i))
-		ni := noc.NewNI(noc.NodeID(i), rn.StatsRef())
+		return dx + dy
+	}
+	attach := func(node noc.NodeID, tile noc.NodeID) {
+		dist := spoke(tile)
+		wire := sim.Cycle(tech.WireCycles(dist))
+		in := r.AddIn(fmt.Sprintf("t%d", node), p.BufFlits)
+		out := r.AddOut(fmt.Sprintf("t%d", node))
+		ni := noc.NewNI(node, rn.StatsRef())
 		noc.ConnectNI(ni, r, in, out, wire, wire, p.EjectBuf)
-		rn.NIs[i] = ni
+		// The eject link carries both spoke directions' length so the area
+		// and energy models see the full in-plus-out wire per traversal.
+		r.SetOutLength(out, 2*dist)
+		rn.NIs[node] = ni
+	}
+	for i := 0; i < n; i++ {
+		attach(noc.NodeID(i), noc.NodeID(i))
+	}
+	for k, tile := range p.AuxTiles {
+		attach(noc.NodeID(n+k), tile)
 	}
 	rn.Routers = []*noc.Router{r}
 	return rn

@@ -77,6 +77,22 @@ func (f Floorplan) HopsMesh(a, b noc.NodeID) int {
 	return abs(ax-bx) + abs(ay-by)
 }
 
+// MCTiles picks the memory-channel attach points on a tiled floorplan:
+// mid-height tiles on the left and right die edges, one per channel. Every
+// tiled organization uses this placement so their off-die distances match.
+func MCTiles(f Floorplan, channels int) []noc.NodeID {
+	nodes := make([]noc.NodeID, channels)
+	ys := []int{f.Rows / 2, f.Rows/2 - 1}
+	if ys[1] < 0 {
+		ys[1] = 0
+	}
+	xs := []int{0, f.Cols - 1}
+	for ch := range nodes {
+		nodes[ch] = f.Node(xs[ch%2], ys[(ch/2)%2])
+	}
+	return nodes
+}
+
 // WireCyclesBetween returns the latched wire delay between two tile
 // centers at the technology's 125 ps/mm.
 func (f Floorplan) WireCyclesBetween(a, b noc.NodeID) sim.Cycle {

@@ -30,6 +30,14 @@
 // The Figure* functions are such sweep specs and regenerate the paper's
 // evaluation; see EXPERIMENTS.md for the catalog and paper-vs-measured
 // results.
+//
+// Interconnect organizations are pluggable: a Design is a handle into a
+// registry of self-describing Organization values (name, CLI aliases,
+// default tuning, network construction, area/power model). The paper's
+// four are builtin; Torus, CMesh, and Crossbar register through the same
+// public RegisterDesign API that user organizations use, and every
+// registered design works in sweeps, CLI flags, and JSON reports. See
+// EXPERIMENTS.md's "writing a new Organization" walkthrough.
 package nocout
 
 import (
@@ -45,16 +53,21 @@ import (
 	"nocout/internal/workload"
 )
 
-// Design selects the interconnect organization (§5.1).
+// Design selects the interconnect organization (§5.1): a registry handle
+// resolvable with ParseDesign and extensible with RegisterDesign.
 type Design = chip.Design
 
-// The evaluated organizations.
+// The paper's evaluated organizations. Torus, CMesh, and Crossbar
+// (designs.go) extend the set through the registry.
 const (
 	Mesh   = chip.Mesh
 	FBfly  = chip.FBfly
 	NOCOut = chip.NOCOut
 	Ideal  = chip.Ideal
 )
+
+// Breakdown is a NoC area report in mm² (Figure 8's split).
+type Breakdown = physic.Breakdown
 
 // Config describes a CMP instance. The zero value is not valid; start from
 // DefaultConfig.
@@ -236,30 +249,56 @@ func runSeeds(ctx context.Context, cfg Config, w workload.Params, q Quality) Res
 // powerOf computes the run's NoC power with the design's area and buffer
 // technology.
 func powerOf(c *chip.Chip, cfg Config, cycles int64) physic.Power {
-	area, kind := designArea(cfg)
+	area, kind, err := AreaModel(cfg)
+	if err != nil {
+		// chip.New resolved the same organization to build c, so this is
+		// unreachable for any run that produced a chip.
+		panic(err)
+	}
 	return physic.NetworkPowerKind(*c.Net.Stats(), c.NetRouters(), cycles, cfg.LinkBits, area, kind)
 }
 
-// designArea returns the NoC area and buffer kind for a configuration.
-func designArea(cfg Config) (physic.Breakdown, physic.BufferKind) {
-	switch cfg.Design {
-	case Mesh:
-		return physic.MeshArea(cfg.Cores, float64(cfg.LLCMB), cfg.LinkBits), physic.FlipFlop
-	case FBfly:
-		return physic.FBflyArea(cfg.Cores, float64(cfg.LLCMB), cfg.LinkBits), physic.SRAM
-	case NOCOut:
-		org := cfg.NOCOut
-		if org.Columns == 0 {
-			org = core.DefaultConfig()
-		}
-		return physic.NOCOutTotalArea(org, cfg.LinkBits), physic.FlipFlop
-	default:
-		return physic.Breakdown{}, physic.FlipFlop
+// AreaModel returns the configuration's NoC area breakdown and buffer
+// circuit from its organization's registered model. Unknown designs are a
+// hard error — there is no silent zero-area fallback; the Ideal fabric's
+// zero breakdown is its organization's explicit wire-only model.
+func AreaModel(cfg Config) (physic.Breakdown, physic.BufferKind, error) {
+	org, err := chip.OrganizationOf(cfg.Design)
+	if err != nil {
+		return physic.Breakdown{}, physic.FlipFlop, err
 	}
+	b, kind := org.AreaModel(cfg)
+	return b, kind, nil
 }
 
 // Area returns the configuration's NoC area breakdown (Figure 8's model).
+// It panics on an unregistered design; use AreaModel to handle the error.
 func Area(cfg Config) physic.Breakdown {
-	b, _ := designArea(cfg)
+	b, _, err := AreaModel(cfg)
+	if err != nil {
+		panic(err)
+	}
 	return b
+}
+
+// SolveWidthForArea finds the widest link width (a multiple of 8 bits, at
+// least 8) whose NoC area for design d does not exceed budget mm² —
+// Figure 9's equal-area normalization. It reports the width and the
+// achieved area.
+func SolveWidthForArea(d Design, budgetMM2 float64) (linkBits int, area Breakdown) {
+	cfg := DefaultConfig(d)
+	at := func(w int) Breakdown {
+		c := cfg
+		c.LinkBits = w
+		return Area(c)
+	}
+	best := 8
+	bestArea := at(best)
+	for w := 8; w <= 512; w += 8 {
+		a := at(w)
+		if a.Total() <= budgetMM2 {
+			best, bestArea = w, a
+		}
+	}
+	return best, bestArea
 }

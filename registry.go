@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"nocout/internal/chip"
+	"nocout/internal/physic"
 	"nocout/internal/workload"
 )
 
@@ -12,8 +13,54 @@ import (
 // config file can carry (designs, quality levels, workloads) resolves
 // here, so commands and examples never switch-case names themselves.
 
-// ParseDesign resolves a design from its figure name or CLI shorthand:
-// mesh | fbfly | flattened-butterfly | nocout | noc-out | ideal.
+// Organization is a self-describing interconnect organization: its figure
+// name and CLI aliases, Table 1-style default tuning, network construction
+// (topology + floorplan + memory-channel endpoints), and area/power model.
+// Implement it and RegisterDesign it to add a fabric to the design space;
+// the Torus, CMesh, and Crossbar organizations in designs.go are worked
+// examples registered through this exact path.
+type Organization = chip.Organization
+
+// Fabric is the built interconnect plus the endpoint layout an
+// Organization's Build returns; chip.TiledFabric lays one out for
+// conventional one-core-per-tile designs.
+type Fabric = chip.Fabric
+
+// BufferKind selects the buffer circuit an organization's AreaModel
+// reports for the energy model.
+type BufferKind = physic.BufferKind
+
+// Buffer circuit kinds: flip-flops for shallow queues, SRAM for deep ones.
+const (
+	FlipFlop = physic.FlipFlop
+	SRAM     = physic.SRAM
+)
+
+// RegisterDesign adds an organization to the design registry and returns
+// its Design handle, after which the design works everywhere a builtin
+// does: DefaultConfig, Run, WithDesigns sweeps, ParseDesign (CLI flags),
+// Area/AreaModel, and JSON report round-trips. Names and aliases must be
+// unique; safe for concurrent use.
+func RegisterDesign(o Organization) (Design, error) { return chip.RegisterOrganization(o) }
+
+// Designs returns every registered design in registration order: the
+// paper's four first, then Torus, CMesh, Crossbar, then user registrations.
+func Designs() []Design {
+	n := len(chip.Organizations())
+	out := make([]Design, n)
+	for i := range out {
+		out[i] = Design(i)
+	}
+	return out
+}
+
+// OrganizationOf resolves a design handle to its registered organization;
+// unknown designs are a hard error.
+func OrganizationOf(d Design) (Organization, error) { return chip.OrganizationOf(d) }
+
+// ParseDesign resolves a design from its figure name or any registered CLI
+// shorthand: mesh | fbfly | flattened-butterfly | nocout | noc-out | ideal
+// | torus | cmesh | crossbar | xbar | ...
 func ParseDesign(s string) (Design, error) { return chip.ParseDesign(s) }
 
 // ParseQuality resolves a simulation effort level by name:
