@@ -20,6 +20,11 @@ func BenchmarkFigure1(b *testing.B) {
 			b.Log("\n" + r.Table().String())
 		}
 	}
+	// 2 designs x 2 workloads x 7 core counts, one seed of warmup+window
+	// cycles each; the per-simulated-cycle rate is the kernel's perf
+	// trajectory metric (CI archives it as BENCH_kernel.json).
+	simCycles := int64(2*2*7) * int64(benchQ.Warmup+benchQ.Window) * int64(benchQ.Seeds) * int64(b.N)
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(simCycles), "ns/simcycle")
 }
 
 // BenchmarkFigure4 regenerates Figure 4: % of LLC accesses triggering a
@@ -46,6 +51,10 @@ func BenchmarkFigure7(b *testing.B) {
 			b.Log("\n" + r.Table().String())
 		}
 	}
+	// 3 variants x 6 workloads, one seed of warmup+window cycles each (see
+	// BenchmarkFigure1 for the role of this metric).
+	simCycles := int64(3*6) * int64(benchQ.Warmup+benchQ.Window) * int64(benchQ.Seeds) * int64(b.N)
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(simCycles), "ns/simcycle")
 }
 
 // BenchmarkFigure8 regenerates Figure 8: NoC area breakdown. Paper anchors:

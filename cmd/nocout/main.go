@@ -7,6 +7,7 @@
 //	nocout -design nocout -workload "Web Search" -quality full
 //	nocout -design mesh -cores 64 -linkbits 64 -workload "Data Serving"
 //	nocout -designs mesh,torus,cmesh,crossbar -workload "MapReduce-C"
+//	nocout -cpuprofile cpu.pprof -quality full -workload "Data Serving"
 //	nocout -list
 package main
 
@@ -17,6 +18,8 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"nocout"
@@ -25,7 +28,15 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("nocout: ")
+	// All work happens inside run so its defers — profile flushing in
+	// particular — execute on every exit path, including errors and
+	// interrupted runs (log.Fatal/os.Exit would skip them).
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
 
+func run() error {
 	design := flag.String("design", "nocout", "interconnect organization (see -list)")
 	designs := flag.String("designs", "", "comma-separated design sweep, overrides -design (see -list)")
 	wl := flag.String("workload", "Web Search", "workload name (see -list)")
@@ -35,7 +46,35 @@ func main() {
 	quality := flag.String("quality", "quick", "quick | full")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	jsonOut := flag.Bool("json", false, "emit the structured Report as JSON")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (pprof evidence for perf PRs)")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Print(err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the profile reflects live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Print(err)
+			}
+		}()
+	}
 
 	if *list {
 		// Both namespaces come from the registries, so user registrations
@@ -44,7 +83,7 @@ func main() {
 		for _, d := range nocout.Designs() {
 			org, err := nocout.OrganizationOf(d)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			aliases := append([]string{strings.ToLower(org.Name())}, org.Aliases()...)
 			fmt.Printf("  %-22s aliases: %s\n", org.Name(), strings.Join(aliases, ", "))
@@ -53,7 +92,7 @@ func main() {
 		for _, w := range nocout.Workloads() {
 			fmt.Printf("  %s\n", w)
 		}
-		return
+		return nil
 	}
 
 	names := []string{*design}
@@ -64,13 +103,13 @@ func main() {
 	for _, name := range names {
 		d, err := nocout.ParseDesign(name)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		ds = append(ds, d)
 	}
 	q, err := nocout.ParseQuality(*quality)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	opts := []nocout.Option{
@@ -92,14 +131,11 @@ func main() {
 	defer stop()
 	rep, err := nocout.NewExperiment(opts...).Run(ctx)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	if *jsonOut {
-		if err := rep.WriteJSON(os.Stdout); err != nil {
-			log.Fatal(err)
-		}
-		return
+		return rep.WriteJSON(os.Stdout)
 	}
 
 	if len(ds) > 1 {
@@ -117,4 +153,5 @@ func main() {
 			fmt.Printf("  %s NoC power: %v\n", d, res.NoCPower)
 		}
 	}
+	return nil
 }

@@ -3,6 +3,10 @@ package nocout
 import (
 	"reflect"
 	"testing"
+
+	"nocout/internal/chip"
+	"nocout/internal/sim"
+	"nocout/internal/workload"
 )
 
 // confQ is the conformance suite's minimal deterministic measurement.
@@ -104,6 +108,84 @@ func TestDesignConformance(t *testing.T) {
 				if !reflect.DeepEqual(res, again) {
 					t.Fatalf("%d cores: nondeterministic:\n%+v\n%+v", n, res, again)
 				}
+			}
+		})
+	}
+}
+
+// TestKernelConformance is the event-scheduled kernel's contract: for
+// every registered design, the scheduled (quiescence-aware) kernel and the
+// naive tick-everything kernel produce identical cycle-by-cycle state
+// hashes over the conformance suite's measurement, and identical final
+// Metrics. Any missed wake, stale arbitration rotation, or lazily
+// mis-accounted counter shows up here within a cycle or two.
+func TestKernelConformance(t *testing.T) {
+	w, err := workload.ByName("MapReduce-C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range Designs() {
+		d := d
+		t.Run(d.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := DefaultConfig(d)
+			cfg.Cores = 16
+
+			build := func(scheduled bool) *chip.Chip {
+				c := chip.New(cfg, w)
+				c.Engine.SetScheduled(scheduled)
+				c.PrewarmCaches()
+				return c
+			}
+			sched, naive := build(true), build(false)
+			if !sched.Engine.Scheduled() || naive.Engine.Scheduled() {
+				t.Fatal("kernel mode not applied")
+			}
+
+			total := confQ.Warmup + confQ.Window
+			for cy := sim.Cycle(1); cy <= total; cy++ {
+				sched.Engine.Step(1)
+				naive.Engine.Step(1)
+				if hs, hn := sched.StateHash(), naive.StateHash(); hs != hn {
+					t.Fatalf("state hash diverged at cycle %d: scheduled %#x naive %#x", cy, hs, hn)
+				}
+			}
+			ms, mn := sched.Metrics(), naive.Metrics()
+			if !reflect.DeepEqual(ms, mn) {
+				t.Fatalf("final metrics diverged:\nscheduled %+v\nnaive     %+v", ms, mn)
+			}
+		})
+	}
+}
+
+// TestKernelConformanceQuick runs one full Quick-quality measurement
+// (warm-up reset included, via the Warmup/Run/Metrics path the experiment
+// engine uses) on both kernels for the paper's primary organizations,
+// comparing the complete Metrics bit-for-bit.
+func TestKernelConformanceQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cycle-level coverage in TestKernelConformance")
+	}
+	w, err := workload.ByName("Web Search")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []Design{Mesh, NOCOut} {
+		d := d
+		t.Run(d.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := DefaultConfig(d)
+			measure := func(scheduled bool) chip.Metrics {
+				c := chip.New(cfg, w)
+				c.Engine.SetScheduled(scheduled)
+				c.PrewarmCaches()
+				c.Warmup(Quick.Warmup)
+				c.Run(Quick.Window)
+				return c.Metrics()
+			}
+			ms, mn := measure(true), measure(false)
+			if !reflect.DeepEqual(ms, mn) {
+				t.Fatalf("Quick metrics diverged:\nscheduled %+v\nnaive     %+v", ms, mn)
 			}
 		})
 	}

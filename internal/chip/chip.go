@@ -8,6 +8,8 @@
 package chip
 
 import (
+	"math"
+
 	"nocout/internal/coherence"
 	"nocout/internal/core"
 	"nocout/internal/cpu"
@@ -206,19 +208,26 @@ func (c *Chip) buildCores(order []int) {
 	}
 }
 
+// register hands every component to the engine directly (not wrapped in
+// TickFunc) so the scheduled kernel sees their Sleeper/WakeBinder
+// contracts: router networks decompose into independently sleeping routers
+// and NIs (sim.Registrar), and the protocol agents' inboxes and pipelines
+// become wake sources at this point — which is why all wiring happens
+// before this call. Registration order (network, L1s, banks, memory
+// channels, cores) is part of the determinism contract.
 func (c *Chip) register() {
 	c.Engine.Register(c.Net)
 	for _, l1 := range c.L1s {
-		c.Engine.Register(sim.TickFunc(l1.Tick))
+		c.Engine.Register(l1)
 	}
 	for _, b := range c.Banks {
-		c.Engine.Register(sim.TickFunc(b.Tick))
+		c.Engine.Register(b)
 	}
 	for _, mc := range c.MCs {
-		c.Engine.Register(sim.TickFunc(mc.Tick))
+		c.Engine.Register(mc)
 	}
 	for _, co := range c.Cores {
-		c.Engine.Register(sim.TickFunc(co.Tick))
+		c.Engine.Register(co)
 	}
 }
 
@@ -228,6 +237,9 @@ func (c *Chip) register() {
 // predictors-of-sorts and queues warm (the SimFlex-style methodology).
 func (c *Chip) Warmup(n sim.Cycle) {
 	c.Engine.Step(n)
+	// Sleeping components account stall/utilization counters lazily; settle
+	// them against the warm-up before zeroing.
+	c.Engine.Flush()
 	for _, co := range c.Cores {
 		co.ResetStats()
 	}
@@ -271,6 +283,7 @@ func (c *Chip) NetRouters() []*noc.Router { return c.Fabric.Routers }
 
 // Metrics gathers the chip's counters.
 func (c *Chip) Metrics() Metrics {
+	c.Engine.Flush() // settle lazily-accounted counters of sleeping components
 	var m Metrics
 	m.ActiveCores = c.active
 	var cycles int64
@@ -317,6 +330,56 @@ func Measure(cfg Config, w workload.Params, warmup, window sim.Cycle) Metrics {
 	ch.Warmup(warmup)
 	ch.Run(window)
 	return ch.Metrics()
+}
+
+// StateHash digests the architecturally visible simulation state — the
+// clock, packet ids, network counters, and every agent's statistics and
+// occupancy — into one FNV-1a word. The kernel conformance suite compares
+// it cycle-by-cycle between the scheduled and naive kernels: any divergence
+// in timing or protocol behaviour shows up in these counters within a
+// cycle or two of occurring.
+func (c *Chip) StateHash() uint64 {
+	c.Engine.Flush()
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	mixI := func(vs ...int64) {
+		for _, v := range vs {
+			mix(uint64(v))
+		}
+	}
+	mixI(int64(c.Engine.Now()), int64(c.active))
+	mix(c.pktID)
+	ns := c.Net.Stats()
+	mixI(ns.Injected, ns.Delivered, ns.FlitHops, ns.PacketHops, ns.InjectFlits)
+	mix(math.Float64bits(ns.FlitLinkMM))
+	for cl := 0; cl < noc.NumClasses; cl++ {
+		mixI(ns.LatencySum[cl], ns.Count[cl])
+	}
+	for _, co := range c.Cores {
+		s := &co.Stats
+		mixI(s.Instrs, s.Cycles, s.IfetchStall, s.DataStall, s.SerialStall,
+			s.BackPressure, s.LoadsIssued, s.StoresIssued, s.IfetchMisses, s.PeakOutstand)
+	}
+	for _, l1 := range c.L1s {
+		s := &l1.Stats
+		mixI(s.IfetchAccesses, s.IfetchMisses, s.LoadAccesses, s.LoadMisses,
+			s.StoreAccesses, s.StoreMisses, s.Writebacks, s.SnoopsReceived, s.Fills,
+			int64(l1.OutstandingMisses()))
+	}
+	for _, b := range c.Banks {
+		s := &b.Stats
+		mixI(s.Accesses, s.Hits, s.Misses, s.SnoopAccesses, s.SnoopMsgs,
+			s.BackInvals, s.Recalls, s.Writebacks, s.MemReads, s.MemWrites,
+			int64(b.BusyLines()))
+	}
+	for _, mc := range c.MCs {
+		s := &mc.Stats
+		mixI(s.Reads, s.Writes, s.BusyCycles, s.QueueSum, s.Samples)
+	}
+	return h
 }
 
 // PrewarmCaches functionally installs the workload's steady-state cache

@@ -174,6 +174,32 @@ func (b *Bank) PendingWork() bool {
 	return b.inbox.Len() > 0 || b.reqQ.Len() > 0 || b.inPipe.Len() > 0 || len(b.busy) > 0
 }
 
+// BindWaker implements sim.WakeBinder: the delivery inbox, the per-line
+// retry queue and the access pipeline are the bank's wake sources.
+func (b *Bank) BindWaker(w sim.Waker) {
+	b.inbox.SetWaker(w)
+	b.reqQ.SetWaker(w)
+	b.inPipe.SetWaker(w)
+}
+
+// NextWake implements sim.Sleeper: awake while queued messages wait to
+// enter the access pipeline, then again when the pipeline's oldest access
+// completes; otherwise the bank waits on the network (open transactions in
+// busy have nothing to do until a response lands in the inbox).
+func (b *Bank) NextWake(now sim.Cycle) sim.Cycle {
+	if b.inbox.Len() > 0 || b.reqQ.Len() > 0 {
+		return now + 1
+	}
+	if at, ok := b.inPipe.NextAt(); ok {
+		return at
+	}
+	return sim.NeverWake
+}
+
+// BusyLines returns the number of lines with an open transaction (state
+// hashing and diagnostics).
+func (b *Bank) BusyLines() int { return len(b.busy) }
+
 // Tick advances the bank: one new message enters the access pipeline per
 // cycle; completed accesses run the protocol logic.
 func (b *Bank) Tick(now sim.Cycle) {

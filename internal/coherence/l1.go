@@ -168,6 +168,20 @@ func (l *L1) miss(now sim.Cycle, line uint64, kind AccessKind) Outcome {
 	return Miss
 }
 
+// BindWaker implements sim.WakeBinder: the delivery inbox is the
+// controller's wake source.
+func (l *L1) BindWaker(w sim.Waker) { l.inbox.SetWaker(w) }
+
+// NextWake implements sim.Sleeper: the controller is purely reactive — it
+// only ever drains its inbox (core-driven Accesses run synchronously inside
+// the core's tick and need no controller cycle).
+func (l *L1) NextWake(now sim.Cycle) sim.Cycle {
+	if l.inbox.Len() > 0 {
+		return now + 1
+	}
+	return sim.NeverWake
+}
+
 // Tick drains delivered protocol messages.
 func (l *L1) Tick(now sim.Cycle) {
 	for {

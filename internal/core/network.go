@@ -36,7 +36,12 @@ func (n *Network) SetDeliver(id noc.NodeID, fn func(now sim.Cycle, p *noc.Packet
 // Stats implements noc.Network.
 func (n *Network) Stats() *noc.Stats { return n.rn.Stats() }
 
+// RegisterInto implements sim.Registrar: the tree nodes, LLC routers and
+// NIs register as independently quiescent components.
+func (n *Network) RegisterInto(e *sim.Engine) { n.rn.RegisterInto(e) }
+
 var _ noc.Network = (*Network)(nil)
+var _ sim.Registrar = (*Network)(nil)
 
 // llcPorts records the port layout of one LLC router.
 type llcPorts struct {

@@ -119,6 +119,9 @@ type Core struct {
 
 	enabled bool
 
+	waker    sim.Waker
+	lastSeen sim.Cycle // last cycle accounted (tick or lazy catch-up)
+
 	Stats Stats
 }
 
@@ -151,8 +154,82 @@ func (c *Core) Enabled() bool { return c.enabled }
 // ResetStats zeroes the measurement counters (end of warm-up).
 func (c *Core) ResetStats() { c.Stats = Stats{} }
 
+// BindWaker implements sim.WakeBinder; the L1 fill listener is the core's
+// only wake source (a quiescent core is, by construction, waiting on a
+// fill).
+func (c *Core) BindWaker(w sim.Waker) { c.waker = w }
+
+// NextWake implements sim.Sleeper. A core is quiescent exactly when no
+// pipeline stage can make progress without an L1 fill: fetch is blocked
+// (I-miss stall, a serializing load, or a full ROB) and commit is blocked
+// (the window head waits on a miss, or the window is empty). Every such
+// state has an outstanding MSHR, so the fill listener is guaranteed to
+// re-arm the core.
+func (c *Core) NextWake(now sim.Cycle) sim.Cycle {
+	if !c.enabled {
+		return sim.NeverWake
+	}
+	fetchBlocked := c.fetchStall || c.serialize || c.count == len(c.rob)
+	commitBlocked := c.headBlocked() || c.count == 0
+	if fetchBlocked && commitBlocked {
+		return sim.NeverWake
+	}
+	return now + 1
+}
+
+// headBlocked reports whether in-order commit is stuck on the window head.
+func (c *Core) headBlocked() bool {
+	return c.count > 0 && c.rob[c.head].mem && c.rob[c.head].waiting
+}
+
+// syncTo accounts the idle cycles in (c.lastSeen, upto] that the scheduled
+// kernel never ticked, replicating bit-for-bit what Tick would have done in
+// each: a cycle count, the commit-credit accrual, and the stall
+// attribution — all against the frozen blocked-on-fill state. It must run
+// before any state mutation (a fill, or the body of a live Tick).
+func (c *Core) syncTo(upto sim.Cycle) {
+	if upto <= c.lastSeen {
+		return
+	}
+	if !c.enabled {
+		c.lastSeen = upto
+		return
+	}
+	k := int64(upto - c.lastSeen)
+	c.lastSeen = upto
+	// Replay the per-cycle float credit accrual exactly until it saturates
+	// (a handful of iterations), then close the remainder in one step —
+	// once credit sits at the cap, further idle cycles leave it there.
+	max := float64(c.params.Width)
+	for k > 0 && c.credit != max {
+		c.credit += 1.0 / c.params.BaseCPI
+		if c.credit > max {
+			c.credit = max
+		}
+		c.Stats.Cycles++
+		c.accountStall()
+		k--
+	}
+	if k > 0 {
+		c.Stats.Cycles += k
+		if ctr := c.stallCounter(); ctr != nil {
+			*ctr += k
+		}
+	}
+}
+
+// Flush implements sim.Flusher: it brings the lazily-accounted cycle and
+// stall counters up to date (measurement boundaries, state hashes).
+func (c *Core) Flush(now sim.Cycle) { c.syncTo(now) }
+
 // onFill is the L1 fill callback.
 func (c *Core) onFill(now sim.Cycle, line uint64, instr, write bool) {
+	// Settle the idle accounting against the pre-fill state, then re-arm:
+	// the fill may unblock this very cycle's tick.
+	c.syncTo(now - 1)
+	if c.waker != nil {
+		c.waker.Wake(now)
+	}
 	if instr {
 		if c.fetchStall && line == c.fetchLine {
 			c.fetchStall = false
@@ -180,6 +257,8 @@ func (c *Core) Tick(now sim.Cycle) {
 	if !c.enabled {
 		return
 	}
+	c.syncTo(now - 1)
+	c.lastSeen = now
 	c.Stats.Cycles++
 	committed := c.commit()
 	c.fetch(now)
@@ -304,12 +383,22 @@ func (c *Core) dispatch(now sim.Cycle, in Instr) bool {
 
 // accountStall attributes a zero-commit cycle to its cause.
 func (c *Core) accountStall() {
+	if ctr := c.stallCounter(); ctr != nil {
+		*ctr++
+	}
+}
+
+// stallCounter picks the stat a stalled cycle is attributed to (nil when
+// none applies); syncTo uses the same attribution for lazily-accounted
+// sleep cycles so the two paths can never diverge.
+func (c *Core) stallCounter() *int64 {
 	switch {
 	case c.fetchStall:
-		c.Stats.IfetchStall++
-	case c.count > 0 && c.rob[c.head].mem && c.rob[c.head].waiting:
-		c.Stats.DataStall++
+		return &c.Stats.IfetchStall
+	case c.headBlocked():
+		return &c.Stats.DataStall
 	case c.serialize:
-		c.Stats.SerialStall++
+		return &c.Stats.SerialStall
 	}
+	return nil
 }

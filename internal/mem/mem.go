@@ -60,6 +60,7 @@ type Controller struct {
 	q        sim.Queue[coherence.Msg]
 	nextFree sim.Cycle
 	inFlight *sim.Pipe[coherence.Msg]
+	lastSeen sim.Cycle // last cycle sampled (tick or lazy catch-up)
 
 	Stats Stats
 }
@@ -91,8 +92,64 @@ func (c *Controller) PendingWork() bool {
 	return c.inbox.Len() > 0 || c.q.Len() > 0 || c.inFlight.Len() > 0
 }
 
+// BindWaker implements sim.WakeBinder: the delivery inbox, the service
+// queue and the in-flight device pipeline are the channel's wake sources.
+func (c *Controller) BindWaker(w sim.Waker) {
+	c.inbox.SetWaker(w)
+	c.q.SetWaker(w)
+	c.inFlight.SetWaker(w)
+}
+
+// NextWake implements sim.Sleeper: new arrivals need a cycle immediately;
+// a backlogged queue needs one when the channel frees; in-flight reads need
+// one when the device latency elapses. An empty channel waits on the inbox
+// (residual busy-window sampling is settled lazily by Flush/syncTo).
+func (c *Controller) NextWake(now sim.Cycle) sim.Cycle {
+	if c.inbox.Len() > 0 {
+		return now + 1
+	}
+	next := sim.NeverWake
+	if c.q.Len() > 0 {
+		next = c.nextFree
+		if next <= now {
+			next = now + 1
+		}
+	}
+	if at, ok := c.inFlight.NextAt(); ok && at < next {
+		next = at
+	}
+	return next
+}
+
+// syncTo replays the utilization sampling for the idle cycles in
+// (c.lastSeen, upto] the scheduled kernel never ticked. During those
+// cycles the queues were provably unchanged (any push would have woken
+// the channel), so the per-cycle samples are a closed form.
+func (c *Controller) syncTo(upto sim.Cycle) {
+	if upto <= c.lastSeen {
+		return
+	}
+	k := int64(upto - c.lastSeen)
+	busyUpto := c.nextFree - 1
+	if busyUpto > upto {
+		busyUpto = upto
+	}
+	if busy := int64(busyUpto - c.lastSeen); busy > 0 {
+		c.Stats.BusyCycles += busy
+	}
+	c.Stats.QueueSum += int64(c.q.Len()) * k
+	c.Stats.Samples += k
+	c.lastSeen = upto
+}
+
+// Flush implements sim.Flusher: settles the lazily-sampled utilization
+// counters at cycle now.
+func (c *Controller) Flush(now sim.Cycle) { c.syncTo(now) }
+
 // Tick advances the channel one cycle.
 func (c *Controller) Tick(now sim.Cycle) {
+	c.syncTo(now - 1)
+	c.lastSeen = now
 	for {
 		m, ok := c.inbox.Pop()
 		if !ok {

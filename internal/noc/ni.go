@@ -127,6 +127,37 @@ func (ni *NI) Tick(now sim.Cycle) {
 	ni.inject(now)
 }
 
+// BindWaker implements sim.WakeBinder: the inject queues and the eject
+// pipe become wake sources. Inject-side credit returns are not wake events
+// for the same reason as the router's (they enable no work while the
+// inject queues are empty, and a non-empty inject queue keeps the NI
+// awake). The NI must be fully connected before registration.
+func (ni *NI) BindWaker(w sim.Waker) {
+	for c := range ni.injectQ {
+		ni.injectQ[c].SetWaker(w)
+	}
+	if ni.eject != nil {
+		ni.eject.SetWaker(w)
+	}
+}
+
+// NextWake implements sim.Sleeper: awake every cycle while packets wait to
+// inject (injection may be credit-gated, and credits drain at tick start),
+// asleep until the next in-flight ejecting flit otherwise.
+func (ni *NI) NextWake(now sim.Cycle) sim.Cycle {
+	for c := range ni.injectQ {
+		if ni.injectQ[c].Len() > 0 {
+			return now + 1
+		}
+	}
+	if ni.eject != nil {
+		if at, ok := ni.eject.NextAt(); ok {
+			return at
+		}
+	}
+	return sim.NeverWake
+}
+
 // inject sends at most one flit through the local port, rotating across
 // classes for fairness.
 func (ni *NI) inject(now sim.Cycle) {
@@ -207,4 +238,24 @@ func (rn *RouterNetwork) Tick(now sim.Cycle) {
 	}
 }
 
+// RegisterInto implements sim.Registrar: instead of ticking the whole
+// network as one component, every router and NI registers individually (in
+// the same order whole-network ticking uses, so results are unchanged) and
+// becomes an independent sleeper — quiescent regions of the fabric drop
+// out of the simulation loop entirely. The network must be fully built
+// before registration: pipes wired afterwards would miss their wakers.
+func (rn *RouterNetwork) RegisterInto(e *sim.Engine) {
+	for _, r := range rn.Routers {
+		e.Register(r)
+	}
+	for _, ni := range rn.NIs {
+		if ni != nil {
+			e.Register(ni)
+		}
+	}
+}
+
 var _ Network = (*RouterNetwork)(nil)
+var _ sim.Registrar = (*RouterNetwork)(nil)
+var _ sim.Sleeper = (*Router)(nil)
+var _ sim.Sleeper = (*NI)(nil)

@@ -48,7 +48,6 @@ type Router struct {
 	route    RouteFunc
 	prio     []Cand // static arbitration order; nil means round-robin
 	allCands []Cand // cached round-robin candidate cross product
-	rr       int    // rotating arbitration pointer
 	numVCs   int    // implemented VCs (area accounting); 0 = NumClasses
 	flits    int64  // flits routed through this router (energy accounting)
 	headRoom HeadRoomFunc
@@ -218,6 +217,44 @@ func (r *Router) Tick(now sim.Cycle) {
 	r.allocate(now)
 }
 
+// BindWaker implements sim.WakeBinder: every input flit pipe becomes a wake
+// source, so a quiescent router is re-armed the moment traffic is pushed
+// toward it. Credit-return pipes are deliberately not wake sources: a
+// returned credit enables no work on its own, and pending credits are
+// drained in bulk at the start of the next flit-driven tick, giving the
+// allocator exactly the credit view the naive kernel would have. All links
+// must be connected before the router is registered with the engine.
+func (r *Router) BindWaker(w sim.Waker) {
+	for _, ip := range r.ins {
+		if ip.in != nil {
+			ip.in.SetWaker(w)
+		}
+	}
+}
+
+// NextWake implements sim.Sleeper. A router holding buffered flits must
+// keep arbitrating every cycle (it may be credit-blocked, and the blocking
+// credit arrives on a pipe it drains at tick start); an empty router sleeps
+// until the earliest in-flight flit on any input link can arrive, and
+// indefinitely (NeverWake) when its inputs are dry — the input pipes are
+// its wake sources.
+func (r *Router) NextWake(now sim.Cycle) sim.Cycle {
+	next := sim.NeverWake
+	for _, ip := range r.ins {
+		for c := range ip.vcs {
+			if len(ip.vcs[c]) > 0 {
+				return now + 1
+			}
+		}
+		if ip.in != nil {
+			if at, ok := ip.in.NextAt(); ok && at < next {
+				next = at
+			}
+		}
+	}
+	return next
+}
+
 // allocate performs switch allocation for one cycle.
 func (r *Router) allocate(now sim.Cycle) {
 	// The scratch masks are sized to the actual radix (the central
@@ -240,8 +277,12 @@ func (r *Router) allocate(now sim.Cycle) {
 	}
 	start := 0
 	if r.prio == nil {
-		start = r.rr % n
-		r.rr++
+		// Rotating arbitration. The rotation is a pure function of the
+		// clock (one position per cycle, first tick at cycle 1 starting at
+		// 0), so a router that slept through idle cycles arbitrates exactly
+		// as if it had been ticked every cycle — a stateful pointer would
+		// diverge between the scheduled and naive kernels.
+		start = int(((now-1)%sim.Cycle(n) + sim.Cycle(n)) % sim.Cycle(n))
 	}
 	for k := 0; k < n; k++ {
 		cd := cands[(start+k)%n]

@@ -16,6 +16,8 @@ type Ideal struct {
 	delay   func(src, dst noc.NodeID) sim.Cycle
 	deliver []func(now sim.Cycle, p *noc.Packet)
 	sched   map[sim.Cycle][]*noc.Packet
+	due     sim.MinHeap[sim.Cycle] // scheduled delivery cycles (with dupes)
+	waker   sim.Waker
 	stats   noc.Stats
 }
 
@@ -50,6 +52,19 @@ func NewIdealWithDelay(n int, delay func(src, dst noc.NodeID) sim.Cycle) *Ideal 
 	}
 }
 
+// BindWaker implements sim.WakeBinder: Send becomes a wake source, arming
+// the fabric for each packet's delivery cycle.
+func (id *Ideal) BindWaker(w sim.Waker) { id.waker = w }
+
+// NextWake implements sim.Sleeper: the earliest scheduled delivery, or
+// NeverWake when nothing is in flight (Send re-arms).
+func (id *Ideal) NextWake(now sim.Cycle) sim.Cycle {
+	if id.due.Len() == 0 {
+		return sim.NeverWake
+	}
+	return id.due.Min()
+}
+
 // Send implements noc.Network.
 func (id *Ideal) Send(now sim.Cycle, p *noc.Packet) {
 	p.InjectedAt = now
@@ -62,6 +77,10 @@ func (id *Ideal) Send(now sim.Cycle, p *noc.Packet) {
 	// Size-1 cycles after the head at one flit per cycle.
 	at := now + d + sim.Cycle(p.Size-1)
 	id.sched[at] = append(id.sched[at], p)
+	id.due.Push(at)
+	if id.waker != nil {
+		id.waker.Wake(at)
+	}
 }
 
 // SetDeliver implements noc.Network.
@@ -74,6 +93,9 @@ func (id *Ideal) Stats() *noc.Stats { return &id.stats }
 
 // Tick delivers every packet scheduled for this cycle.
 func (id *Ideal) Tick(now sim.Cycle) {
+	for id.due.Len() > 0 && id.due.Min() <= now {
+		id.due.Pop()
+	}
 	ps, ok := id.sched[now]
 	if !ok {
 		return
@@ -91,3 +113,4 @@ func (id *Ideal) Tick(now sim.Cycle) {
 }
 
 var _ noc.Network = (*Ideal)(nil)
+var _ sim.Sleeper = (*Ideal)(nil)
