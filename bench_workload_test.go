@@ -1,0 +1,82 @@
+package nocout
+
+import (
+	"testing"
+
+	"nocout/internal/workload"
+)
+
+// This file benchmarks the workload layer: raw per-stream generation
+// cost for every registered workload, and a full Quick-quality chip
+// measurement driven by a recorded capture vs the live synthetic
+// generator. CI archives the results as BENCH_workload.json so the
+// workload layer's perf trajectory is tracked PR over PR alongside the
+// kernel's.
+
+// BenchmarkWorkloadStream measures stream generation for every
+// registered workload plus a capture replay of the first; ns/op is
+// ns per generated instruction.
+func BenchmarkWorkloadStream(b *testing.B) {
+	for _, w := range RegisteredWorkloads() {
+		b.Run(w.Name(), func(b *testing.B) {
+			st := w.StreamFor(0, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st.Next()
+			}
+		})
+	}
+	b.Run("Capture-Replay", func(b *testing.B) {
+		cap, err := workload.Record(workload.Synth(workload.DataServing), 1, 4096, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st := cap.StreamFor(0, 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			st.Next()
+		}
+	})
+}
+
+// BenchmarkWorkloadQuick compares a Quick-quality 16-core mesh
+// measurement driven synthetically against the same measurement driven
+// by a non-wrapping recorded capture (the ns/simcycle gap is the cost
+// — or saving — of replay on the full simulation path).
+func BenchmarkWorkloadQuick(b *testing.B) {
+	cfg := DefaultConfig(Mesh)
+	cfg.Cores = 16
+	simCycles := int64(Quick.Warmup + Quick.Window)
+	report := func(b *testing.B, res Result) {
+		b.ReportMetric(res.AggIPC, "agg-ipc")
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(simCycles*int64(b.N)), "ns/simcycle")
+	}
+
+	b.Run("synthetic", func(b *testing.B) {
+		var res Result
+		var err error
+		for i := 0; i < b.N; i++ {
+			res, err = Run(cfg, "MapReduce-C", Quick)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		report(b, res)
+	})
+	b.Run("trace-replay", func(b *testing.B) {
+		src, err := ParseWorkload("MapReduce-C")
+		if err != nil {
+			b.Fatal(err)
+		}
+		cap, err := RecordWorkload(src, cfg.Cores, int(Quick.Warmup+Quick.Window)*3, cfg.Seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		var res Result
+		for i := 0; i < b.N; i++ {
+			res = RunWorkload(cfg, cap, Quick)
+		}
+		report(b, res)
+	})
+}

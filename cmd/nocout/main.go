@@ -1,12 +1,16 @@
 // Command nocout runs one CMP configuration — or a sweep of interconnect
-// designs — under one scale-out workload and prints the measured metrics,
-// as text or as a machine-readable Report (-json).
+// designs crossed with workloads — and prints the measured metrics, as
+// text or as a machine-readable Report (-json). It can also record a
+// workload capture for later "trace:<path>" replay.
 //
 // Usage:
 //
 //	nocout -design nocout -workload "Web Search" -quality full
-//	nocout -design mesh -cores 64 -linkbits 64 -workload "Data Serving"
+//	nocout -design mesh -cores 64 -linkbits 64 -workload data-serving
 //	nocout -designs mesh,torus,cmesh,crossbar -workload "MapReduce-C"
+//	nocout -design mesh -workloads websearch,mix,phased
+//	nocout -workload websearch -cores 16 -record-trace ws.noctrace
+//	nocout -design mesh -cores 16 -workload trace:ws.noctrace
 //	nocout -cpuprofile cpu.pprof -quality full -workload "Data Serving"
 //	nocout -list
 package main
@@ -39,13 +43,17 @@ func main() {
 func run() error {
 	design := flag.String("design", "nocout", "interconnect organization (see -list)")
 	designs := flag.String("designs", "", "comma-separated design sweep, overrides -design (see -list)")
-	wl := flag.String("workload", "Web Search", "workload name (see -list)")
+	wl := flag.String("workload", "Web Search", "workload name, alias, or trace:<path> (see -list)")
+	workloads := flag.String("workloads", "", "comma-separated workload sweep, overrides -workload (see -list)")
 	list := flag.Bool("list", false, "list registered designs and workloads, then exit")
+	listWLs := flag.Bool("list-workloads", false, "list registered workloads with aliases, then exit")
 	cores := flag.Int("cores", 64, "core count (power of two)")
 	linkBits := flag.Int("linkbits", 128, "NoC link width in bits")
 	quality := flag.String("quality", "quick", "quick | full")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	jsonOut := flag.Bool("json", false, "emit the structured Report as JSON")
+	recordTrace := flag.String("record-trace", "", "record the workload to this capture file and exit (replay with -workload trace:<path>)")
+	recordInstrs := flag.Int("record-instrs", 96000, "instructions per core to record with -record-trace (96k covers a quick-quality run)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (pprof evidence for perf PRs)")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -76,31 +84,65 @@ func run() error {
 		}()
 	}
 
-	if *list {
+	if *list || *listWLs {
 		// Both namespaces come from the registries, so user registrations
 		// show up here with no CLI changes.
-		fmt.Println("designs:")
-		for _, d := range nocout.Designs() {
-			org, err := nocout.OrganizationOf(d)
-			if err != nil {
-				return err
+		if *list {
+			fmt.Println("designs:")
+			for _, d := range nocout.Designs() {
+				org, err := nocout.OrganizationOf(d)
+				if err != nil {
+					return err
+				}
+				aliases := append([]string{strings.ToLower(org.Name())}, org.Aliases()...)
+				fmt.Printf("  %-22s aliases: %s\n", org.Name(), strings.Join(aliases, ", "))
 			}
-			aliases := append([]string{strings.ToLower(org.Name())}, org.Aliases()...)
-			fmt.Printf("  %-22s aliases: %s\n", org.Name(), strings.Join(aliases, ", "))
 		}
 		fmt.Println("workloads:")
-		for _, w := range nocout.Workloads() {
-			fmt.Printf("  %s\n", w)
+		for _, w := range nocout.RegisteredWorkloads() {
+			aliases := append([]string{strings.ToLower(w.Name())}, w.Aliases()...)
+			fmt.Printf("  %-22s max cores: %-3d  aliases: %s\n", w.Name(), w.MaxCores(), strings.Join(aliases, ", "))
 		}
+		fmt.Println("plus trace:<path> to replay a capture recorded with -record-trace")
 		return nil
 	}
 
-	names := []string{*design}
+	wnames := []string{*wl}
+	if *workloads != "" {
+		wnames = strings.Split(*workloads, ",")
+	}
+	var ws []nocout.Workload
+	for _, name := range wnames {
+		w, err := nocout.ParseWorkload(name)
+		if err != nil {
+			return err
+		}
+		ws = append(ws, w)
+	}
+
+	if *recordTrace != "" {
+		if len(ws) != 1 {
+			return fmt.Errorf("-record-trace captures exactly one workload, got %d", len(ws))
+		}
+		cap, err := nocout.RecordWorkload(ws[0], *cores, *recordInstrs, *seed)
+		if err != nil {
+			return err
+		}
+		if err := cap.Save(*recordTrace); err != nil {
+			return err
+		}
+		fmt.Printf("recorded %s: %d cores x %d instructions (seed %d) -> %s\n",
+			ws[0].Name(), *cores, *recordInstrs, *seed, *recordTrace)
+		fmt.Printf("replay with: -workload trace:%s\n", *recordTrace)
+		return nil
+	}
+
+	dnames := []string{*design}
 	if *designs != "" {
-		names = strings.Split(*designs, ",")
+		dnames = strings.Split(*designs, ",")
 	}
 	var ds []nocout.Design
-	for _, name := range names {
+	for _, name := range dnames {
 		d, err := nocout.ParseDesign(name)
 		if err != nil {
 			return err
@@ -112,9 +154,13 @@ func run() error {
 		return err
 	}
 
+	wdisplay := make([]string, len(ws))
+	for i, w := range ws {
+		wdisplay[i] = w.Name()
+	}
 	opts := []nocout.Option{
-		nocout.WithTitle(fmt.Sprintf("%s / %s", strings.Join(names, ","), *wl)),
-		nocout.WithWorkloads(*wl),
+		nocout.WithTitle(fmt.Sprintf("%s / %s", strings.Join(dnames, ","), strings.Join(wdisplay, ","))),
+		nocout.WithWorkloadValues(ws...),
 		nocout.WithQuality(q),
 	}
 	cfgs := make([]nocout.Config, len(ds))
@@ -138,19 +184,21 @@ func run() error {
 		return rep.WriteJSON(os.Stdout)
 	}
 
-	if len(ds) > 1 {
+	if len(ds)*len(ws) > 1 {
 		fmt.Println(rep.Table())
+	} else {
+		res := rep.MustGet(ds[0].String(), ws[0].Name(), 0)
+		fmt.Println(res)
+		fmt.Printf("  LLC miss rate: %.1f%%   L1-I MPKI: %.1f   L1-D MPKI: %.1f\n",
+			res.LLCMissRate*100, res.L1IMPKI, res.L1DMPKI)
 	}
 	for i, d := range ds {
-		res := rep.MustGet(d.String(), *wl, 0)
-		if len(ds) == 1 {
-			fmt.Println(res)
-			fmt.Printf("  LLC miss rate: %.1f%%   L1-I MPKI: %.1f   L1-D MPKI: %.1f\n",
-				res.LLCMissRate*100, res.L1IMPKI, res.L1DMPKI)
-		}
 		if area := nocout.Area(cfgs[i]); area.Total() > 0 {
 			fmt.Printf("  %s NoC area: %v\n", d, area)
-			fmt.Printf("  %s NoC power: %v\n", d, res.NoCPower)
+			for _, w := range ws {
+				res := rep.MustGet(d.String(), w.Name(), 0)
+				fmt.Printf("  %s NoC power (%s): %v\n", d, w.Name(), res.NoCPower)
+			}
 		}
 	}
 	return nil

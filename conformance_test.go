@@ -120,7 +120,7 @@ func TestDesignConformance(t *testing.T) {
 // Metrics. Any missed wake, stale arbitration rotation, or lazily
 // mis-accounted counter shows up here within a cycle or two.
 func TestKernelConformance(t *testing.T) {
-	w, err := workload.ByName("MapReduce-C")
+	w, err := workload.Parse("MapReduce-C")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +166,7 @@ func TestKernelConformanceQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("cycle-level coverage in TestKernelConformance")
 	}
-	w, err := workload.ByName("Web Search")
+	w, err := workload.Parse("Web Search")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -58,6 +58,57 @@ func TestSweepErrors(t *testing.T) {
 	}
 }
 
+func TestSweepWorkloadNameCollision(t *testing.T) {
+	// Two spellings of the same workload dedup to one set of points...
+	sw, err := NewExperiment(
+		WithDesigns(Mesh),
+		WithWorkloads("Web Search", "websearch"),
+	).Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Len() != 1 {
+		t.Fatalf("alias dedup failed: %d points, want 1", sw.Len())
+	}
+
+	// A freshly wrapped copy of the same calibration also dedups:
+	// aliases are metadata, not identity.
+	p, err := WorkloadParamsOf("websearch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err = NewExperiment(
+		WithDesigns(Mesh),
+		WithWorkloads("websearch"),
+		WithWorkloadValues(SynthWorkload(p)),
+	).Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Len() != 1 {
+		t.Fatalf("same-calibration dedup failed: %d points, want 1", sw.Len())
+	}
+
+	// ...but a *different* workload under a taken name (a capture
+	// replays under its source's name) must not silently vanish.
+	ws, err := ParseWorkload("Web Search")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap, err := RecordWorkload(ws, 2, 50, 1) // short: looping, not equivalent
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = NewExperiment(
+		WithDesigns(Mesh),
+		WithWorkloads("Web Search"),
+		WithWorkloadValues(cap),
+	).Sweep()
+	if err == nil || !strings.Contains(err.Error(), "Web Search") {
+		t.Fatalf("name collision must be a hard error, got %v", err)
+	}
+}
+
 func TestSweepConfigureAndUnlimited(t *testing.T) {
 	sw, err := NewExperiment(
 		WithDesigns(Mesh),
@@ -77,8 +128,8 @@ func TestSweepConfigureAndUnlimited(t *testing.T) {
 	if p.Seed != 42 || p.Config.Seed != 42 {
 		t.Fatalf("seed override not applied: %+v", p)
 	}
-	if p.wl.MaxCores != 64 {
-		t.Fatalf("WithUnlimitedCores must lift the cap to the chip size, got %d", p.wl.MaxCores)
+	if p.wl.MaxCores() < 64 {
+		t.Fatalf("WithUnlimitedCores must lift the cap past the chip size, got %d", p.wl.MaxCores())
 	}
 
 	// Seed 0 is a valid override, not "unset".

@@ -3,6 +3,7 @@ package nocout
 import (
 	"context"
 	"fmt"
+	"reflect"
 
 	"nocout/internal/workload"
 )
@@ -36,7 +37,7 @@ type Point struct {
 	// the JSON encoding so a report fully reproduces its runs.
 	Config Config `json:"config"`
 
-	wl workload.Params
+	wl workload.Workload
 }
 
 // Key identifies the point within its sweep; expansion dedups on it.
@@ -71,14 +72,15 @@ func (s Sweep) Len() int { return len(s.Points) }
 //		nocout.WithQuality(nocout.Quick),
 //	).Run(ctx)
 type Experiment struct {
-	title      string
-	variants   []Variant
-	workloads  []string
-	coreCounts []int
-	quality    Quality
-	seed       *uint64
-	unlimited  bool
-	configure  func(*Config, Point)
+	title        string
+	variants     []Variant
+	workloads    []string
+	workloadVals []workload.Workload
+	coreCounts   []int
+	quality      Quality
+	seed         *uint64
+	unlimited    bool
+	configure    func(*Config, Point)
 }
 
 // Option configures an Experiment.
@@ -117,10 +119,19 @@ func WithVariant(name string, cfg Config) Option {
 	}
 }
 
-// WithWorkloads restricts the sweep to the named workloads (any order,
-// any Register-ed name). Default: the full suite in figure order.
+// WithWorkloads restricts the sweep to the named workloads: any
+// registered name or alias (case-insensitive), or a recorded capture
+// via "trace:<path>". Default: every registered workload in
+// registration order.
 func WithWorkloads(names ...string) Option {
 	return func(e *Experiment) { e.workloads = append(e.workloads, names...) }
+}
+
+// WithWorkloadValues adds constructed Workload values — an unregistered
+// Mix, a loaded Capture, a user implementation — to the sweep after any
+// named ones.
+func WithWorkloadValues(ws ...Workload) Option {
+	return func(e *Experiment) { e.workloadVals = append(e.workloadVals, ws...) }
 }
 
 // WithCoreCounts crosses the sweep with chip core counts. Default: each
@@ -162,16 +173,41 @@ func (e *Experiment) Sweep() (Sweep, error) {
 		return Sweep{}, fmt.Errorf("nocout: experiment has no variants; use WithDesigns or WithVariant")
 	}
 	names := e.workloads
-	if len(names) == 0 {
+	if len(names) == 0 && len(e.workloadVals) == 0 {
 		names = Workloads()
 	}
-	wls := make([]workload.Params, len(names))
-	for i, n := range names {
-		w, err := workload.ByName(n)
+	wls := make([]workload.Workload, 0, len(names)+len(e.workloadVals))
+	// Points are keyed by workload *name*, so two distinct workloads
+	// sharing one name would silently collapse to whichever expands
+	// first — easy to hit since a capture replays under its source's
+	// name. Equal spellings of the same workload dedup; genuinely
+	// different sources with one name are a hard error.
+	byName := map[string]workload.Workload{}
+	add := func(w workload.Workload) error {
+		prev, seen := byName[w.Name()]
+		if !seen {
+			byName[w.Name()] = w
+			wls = append(wls, w)
+			return nil
+		}
+		if !sameWorkload(prev, w) {
+			return fmt.Errorf("nocout: two different workloads named %q in one sweep; record or register under a distinct name", w.Name())
+		}
+		return nil
+	}
+	for _, n := range names {
+		w, err := workload.Parse(n)
 		if err != nil {
 			return Sweep{}, err
 		}
-		wls[i] = w
+		if err := add(w); err != nil {
+			return Sweep{}, err
+		}
+	}
+	for _, w := range e.workloadVals {
+		if err := add(w); err != nil {
+			return Sweep{}, err
+		}
 	}
 	counts := e.coreCounts
 	if len(counts) == 0 {
@@ -193,7 +229,7 @@ func (e *Experiment) Sweep() (Sweep, error) {
 				p := Point{
 					Variant:  v.Name,
 					Design:   cfg.Design,
-					Workload: w.Name,
+					Workload: w.Name(),
 					Cores:    n,
 				}
 				if e.configure != nil {
@@ -201,7 +237,7 @@ func (e *Experiment) Sweep() (Sweep, error) {
 				}
 				wl := w
 				if e.unlimited {
-					wl.MaxCores = cfg.Cores
+					wl = workload.Unlimited(w)
 				}
 				p.Seed = cfg.Seed
 				p.Config = cfg
@@ -215,6 +251,19 @@ func (e *Experiment) Sweep() (Sweep, error) {
 		}
 	}
 	return sw, nil
+}
+
+// sameWorkload reports whether two equally-named workloads are the same
+// source. Synthetics compare on their calibration block alone — alias
+// metadata doesn't change behaviour, and a registered synthetic must
+// dedup against a freshly wrapped copy of the same Params.
+func sameWorkload(a, b workload.Workload) bool {
+	if sa, ok := a.(workload.Synthetic); ok {
+		if sb, ok := b.(workload.Synthetic); ok {
+			return sa.P == sb.P
+		}
+	}
+	return reflect.DeepEqual(a, b)
 }
 
 // Run expands the experiment and executes it with a default Runner.

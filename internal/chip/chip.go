@@ -65,10 +65,10 @@ func DefaultConfig(d Design) Config {
 	return cfg
 }
 
-// Chip is a fully assembled CMP bound to one workload.
+// Chip is a fully assembled CMP bound to one workload source.
 type Chip struct {
 	Cfg      Config
-	Workload workload.Params
+	Workload workload.Workload
 
 	Engine *sim.Engine
 	Net    noc.Network
@@ -88,9 +88,11 @@ type Chip struct {
 	pktID  uint64
 }
 
-// New builds a chip running workload w. The design's organization is
-// resolved through the registry; an unregistered design panics.
-func New(cfg Config, w workload.Params) *Chip {
+// New builds a chip running workload w — any Workload implementation:
+// a registered synthetic, a replayed capture, a mix, a phased schedule.
+// The design's organization is resolved through the registry; an
+// unregistered design panics.
+func New(cfg Config, w workload.Workload) *Chip {
 	if cfg.Cores < 1 {
 		panic("chip: need at least one core")
 	}
@@ -188,21 +190,23 @@ func (c *Chip) installDispatchers(nNodes int) {
 }
 
 // buildCores instantiates the cores, enabling only the workload's
-// scalable subset in the fabric's preference order (§5.3).
+// scalable subset in the fabric's preference order (§5.3). The chip is
+// generic over workload sources: it asks the workload for each core's
+// stream and pipeline parameters instead of assuming a generator.
 func (c *Chip) buildCores(order []int) {
 	w := c.Workload
 	c.active = c.Cfg.Cores
-	if w.MaxCores > 0 && w.MaxCores < c.active {
-		c.active = w.MaxCores
+	if mc := w.MaxCores(); mc > 0 && mc < c.active {
+		c.active = mc
 	}
 	active := map[int]bool{}
 	for i := 0; i < c.active; i++ {
 		active[order[i]] = true
 	}
 	for i := 0; i < c.Cfg.Cores; i++ {
-		gen := workload.NewGenerator(w, i, c.Cfg.Seed)
-		cp := w.CoreParams(c.Cfg.Seed)
-		co := cpu.New(i, cp, c.L1s[i], gen)
+		stream := w.StreamFor(i, c.Cfg.Seed)
+		cp := w.CoreParams(i, c.Cfg.Seed)
+		co := cpu.New(i, cp, c.L1s[i], stream)
 		co.SetEnabled(active[i])
 		c.Cores = append(c.Cores, co)
 	}
@@ -275,6 +279,10 @@ type Metrics struct {
 	IfetchStallPct float64 // fraction of active-core cycles stalled on I-fetch
 	L1IMPKI        float64
 	L1DMPKI        float64
+
+	// PerMemberIPC breaks AggIPC down by member workload when the source
+	// is heterogeneous (a Mix, or a capture of one); nil otherwise.
+	PerMemberIPC map[string]float64
 }
 
 // NetRouters returns the underlying routers of the chip's network (empty
@@ -319,12 +327,41 @@ func (c *Chip) Metrics() Metrics {
 	m.Net = *c.Net.Stats()
 	m.AvgNetLatency = m.Net.AvgLatencyAll()
 	m.AvgRespLatency = m.Net.AvgLatency(noc.ClassResp)
+	m.PerMemberIPC = c.perMemberIPC(cycles)
 	return m
+}
+
+// perMemberIPC attributes committed instructions to member workloads.
+// Homogeneous sources (and single-member assignments) yield nil, so
+// their Metrics — and Results — are unchanged by the breakdown.
+func (c *Chip) perMemberIPC(cycles int64) map[string]float64 {
+	if cycles <= 0 {
+		return nil
+	}
+	if _, multi := workload.MemberNameOf(c.Workload, 0); !multi {
+		return nil
+	}
+	instrs := map[string]int64{}
+	for i, co := range c.Cores {
+		if !co.Enabled() {
+			continue
+		}
+		name, _ := workload.MemberNameOf(c.Workload, i)
+		instrs[name] += co.Stats.Instrs
+	}
+	if len(instrs) < 2 {
+		return nil
+	}
+	out := make(map[string]float64, len(instrs))
+	for name, n := range instrs {
+		out[name] = float64(n) / float64(cycles)
+	}
+	return out
 }
 
 // Measure is the standard experiment: functional cache warm-up, a timing
 // warm-up, then the measurement window.
-func Measure(cfg Config, w workload.Params, warmup, window sim.Cycle) Metrics {
+func Measure(cfg Config, w workload.Workload, warmup, window sim.Cycle) Metrics {
 	ch := New(cfg, w)
 	ch.PrewarmCaches()
 	ch.Warmup(warmup)
@@ -385,27 +422,24 @@ func (c *Chip) StateHash() uint64 {
 // PrewarmCaches functionally installs the workload's steady-state cache
 // contents before timing starts, reproducing the paper's methodology of
 // launching measurements "from checkpoints with warmed caches" (§5.4):
-// the shared instruction footprint and hot region become LLC-resident, and
-// each active core's local region is owned by its L1-D.
+// the layout's shared instruction footprint and hot region become
+// LLC-resident, and each active core's local region is owned by its L1-D.
 func (c *Chip) PrewarmCaches() {
-	w := c.Workload
+	lay := c.Workload.Layout()
 	nBanks := len(c.Banks)
 	bankOf := func(line uint64) *coherence.Bank { return c.Banks[line%uint64(nBanks)] }
 
-	base, size := w.InstrRegion()
-	for a := base; a < base+size; a += 64 {
-		bankOf(a / 64).PrewarmShared(a / 64)
-	}
-	base, size = w.HotRegion()
-	for a := base; a < base+size; a += 64 {
-		bankOf(a / 64).PrewarmShared(a / 64)
+	for _, r := range []workload.Region{lay.Instr, lay.Hot} {
+		for a := r.Base; a < r.Base+r.Size; a += 64 {
+			bankOf(a / 64).PrewarmShared(a / 64)
+		}
 	}
 	for i, co := range c.Cores {
 		if !co.Enabled() {
 			continue
 		}
-		base, size = w.LocalRegion(i)
-		for a := base; a < base+size; a += 64 {
+		r := lay.Local(i)
+		for a := r.Base; a < r.Base+r.Size; a += 64 {
 			line := a / 64
 			if bankOf(line).PrewarmOwned(line, i) {
 				c.L1s[i].PrewarmData(line, coherence.StateM)

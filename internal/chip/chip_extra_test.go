@@ -9,7 +9,7 @@ import (
 func TestMemoryChannelsBalanced(t *testing.T) {
 	// The hashed channel interleave must spread traffic across all four
 	// channels (a single saturated channel was a real bug during bring-up).
-	c := New(DefaultConfig(Mesh), workload.MapReduceC)
+	c := New(DefaultConfig(Mesh), workload.Synth(workload.MapReduceC))
 	c.PrewarmCaches()
 	c.Warmup(5000)
 	c.Run(15000)
@@ -37,13 +37,13 @@ func TestPrewarmMakesInstructionsLLCResident(t *testing.T) {
 	// With warmed checkpoints the LLC should serve instruction fetches
 	// (high hit rate); without them, a short window measures a cold,
 	// memory-bound system.
-	warm := New(DefaultConfig(Mesh), workload.SATSolver)
+	warm := New(DefaultConfig(Mesh), workload.Synth(workload.SATSolver))
 	warm.PrewarmCaches()
 	warm.Warmup(5000)
 	warm.Run(10000)
 	wm := warm.Metrics()
 
-	cold := New(DefaultConfig(Mesh), workload.SATSolver)
+	cold := New(DefaultConfig(Mesh), workload.Synth(workload.SATSolver))
 	cold.Warmup(5000)
 	cold.Run(10000)
 	cm := cold.Metrics()
@@ -59,7 +59,7 @@ func TestPrewarmMakesInstructionsLLCResident(t *testing.T) {
 
 func TestNOCOutBankPortsCarryTraffic(t *testing.T) {
 	// Every LLC bank must see traffic through its dedicated port.
-	c := New(DefaultConfig(NOCOut), workload.MapReduceW)
+	c := New(DefaultConfig(NOCOut), workload.Synth(workload.MapReduceW))
 	c.PrewarmCaches()
 	c.Warmup(5000)
 	c.Run(10000)
@@ -77,7 +77,7 @@ func TestBankingSweepBuilds(t *testing.T) {
 	for _, banks := range []int{1, 2, 4, 8} {
 		cfg := DefaultConfig(NOCOut)
 		cfg.BanksPerLLCTile = banks
-		m := Measure(cfg, workload.WebSearch, 2000, 3000)
+		m := Measure(cfg, workload.Synth(workload.WebSearch), 2000, 3000)
 		if m.Instrs == 0 {
 			t.Fatalf("banks/tile=%d produced no work", banks)
 		}
@@ -90,8 +90,7 @@ func TestConcentrated128CoreChip(t *testing.T) {
 	cfg.NOCOut.Columns = 8
 	cfg.NOCOut.RowsPerSide = 4
 	cfg.NOCOut.Concentration = 2
-	w := workload.MapReduceC
-	w.MaxCores = 128
+	w := workload.Unlimited(workload.Synth(workload.MapReduceC))
 	m := Measure(cfg, w, 3000, 5000)
 	if m.ActiveCores != 128 {
 		t.Fatalf("active = %d", m.ActiveCores)
@@ -107,8 +106,7 @@ func TestExpressLink128CoreChip(t *testing.T) {
 	cfg.NOCOut.Columns = 8
 	cfg.NOCOut.RowsPerSide = 8
 	cfg.NOCOut.ExpressFrom = 4
-	w := workload.MapReduceC
-	w.MaxCores = 128
+	w := workload.Unlimited(workload.Synth(workload.MapReduceC))
 	m := Measure(cfg, w, 3000, 5000)
 	if m.Instrs == 0 {
 		t.Fatal("express chip silent")
@@ -116,16 +114,16 @@ func TestExpressLink128CoreChip(t *testing.T) {
 }
 
 func TestNetRoutersAccessor(t *testing.T) {
-	mesh := New(DefaultConfig(Mesh), workload.WebSearch)
+	mesh := New(DefaultConfig(Mesh), workload.Synth(workload.WebSearch))
 	if len(mesh.NetRouters()) != 64 {
 		t.Fatalf("mesh routers = %d", len(mesh.NetRouters()))
 	}
-	no := New(DefaultConfig(NOCOut), workload.WebSearch)
+	no := New(DefaultConfig(NOCOut), workload.Synth(workload.WebSearch))
 	// 64 reduction + 64 dispersion + 8 LLC routers.
 	if len(no.NetRouters()) != 136 {
 		t.Fatalf("NOC-Out routers = %d, want 136", len(no.NetRouters()))
 	}
-	ideal := New(DefaultConfig(Ideal), workload.WebSearch)
+	ideal := New(DefaultConfig(Ideal), workload.Synth(workload.WebSearch))
 	if len(ideal.NetRouters()) != 0 {
 		t.Fatal("ideal fabric has no routers")
 	}

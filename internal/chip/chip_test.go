@@ -22,7 +22,7 @@ func TestAllDesignsExecute(t *testing.T) {
 		d := d
 		t.Run(d.String(), func(t *testing.T) {
 			t.Parallel()
-			m := Measure(small(d), workload.MapReduceC, 2000, 4000)
+			m := Measure(small(d), workload.Synth(workload.MapReduceC), 2000, 4000)
 			if m.Instrs == 0 {
 				t.Fatalf("%v: no instructions committed", d)
 			}
@@ -44,7 +44,7 @@ func TestDefault64CoreConfigsExecute(t *testing.T) {
 		d := d
 		t.Run(d.String(), func(t *testing.T) {
 			t.Parallel()
-			m := Measure(DefaultConfig(d), workload.MapReduceW, 1500, 2500)
+			m := Measure(DefaultConfig(d), workload.Synth(workload.MapReduceW), 1500, 2500)
 			if m.ActiveCores != 64 {
 				t.Fatalf("active = %d", m.ActiveCores)
 			}
@@ -57,7 +57,7 @@ func TestDefault64CoreConfigsExecute(t *testing.T) {
 
 func TestWorkloadScalingLimitDisablesCores(t *testing.T) {
 	cfg := DefaultConfig(NOCOut)
-	c := New(cfg, workload.WebSearch) // 16-core workload
+	c := New(cfg, workload.Synth(workload.WebSearch)) // 16-core workload
 	if c.ActiveCores() != 16 {
 		t.Fatalf("active = %d, want 16", c.ActiveCores())
 	}
@@ -84,7 +84,7 @@ func TestWorkloadScalingLimitDisablesCores(t *testing.T) {
 
 func TestCentralTilesChosenOnMesh(t *testing.T) {
 	cfg := DefaultConfig(Mesh)
-	c := New(cfg, workload.WebFrontend) // 16-core workload
+	c := New(cfg, workload.Synth(workload.WebFrontend)) // 16-core workload
 	if c.ActiveCores() != 16 {
 		t.Fatalf("active = %d", c.ActiveCores())
 	}
@@ -100,14 +100,14 @@ func TestCentralTilesChosenOnMesh(t *testing.T) {
 }
 
 func TestDeterministicRuns(t *testing.T) {
-	a := Measure(small(Mesh), workload.SATSolver, 1000, 2000)
-	b := Measure(small(Mesh), workload.SATSolver, 1000, 2000)
+	a := Measure(small(Mesh), workload.Synth(workload.SATSolver), 1000, 2000)
+	b := Measure(small(Mesh), workload.Synth(workload.SATSolver), 1000, 2000)
 	if a.Instrs != b.Instrs || a.Dir.Accesses != b.Dir.Accesses || a.Net.Delivered != b.Net.Delivered {
 		t.Fatalf("same seed, different results:\n%+v\n%+v", a, b)
 	}
 	cfg := small(Mesh)
 	cfg.Seed = 2
-	c := Measure(cfg, workload.SATSolver, 1000, 2000)
+	c := Measure(cfg, workload.Synth(workload.SATSolver), 1000, 2000)
 	if c.Instrs == a.Instrs && c.Net.Delivered == a.Net.Delivered {
 		t.Fatal("different seeds should perturb the run")
 	}
@@ -116,8 +116,8 @@ func TestDeterministicRuns(t *testing.T) {
 func TestIdealBeatsMeshAt64Cores(t *testing.T) {
 	// Figure 1's premise: interconnect delay costs real performance at 64
 	// cores on latency-sensitive workloads.
-	mi := Measure(DefaultConfig(Ideal), workload.DataServing, 3000, 6000)
-	mm := Measure(DefaultConfig(Mesh), workload.DataServing, 3000, 6000)
+	mi := Measure(DefaultConfig(Ideal), workload.Synth(workload.DataServing), 3000, 6000)
+	mm := Measure(DefaultConfig(Mesh), workload.Synth(workload.DataServing), 3000, 6000)
 	if mi.AggIPC <= mm.AggIPC {
 		t.Fatalf("ideal (%.3f) should outperform mesh (%.3f)", mi.AggIPC, mm.AggIPC)
 	}
@@ -127,7 +127,7 @@ func TestInstructionMissesHitInLLC(t *testing.T) {
 	// The instruction footprint fits the LLC: after warm-up, LLC misses
 	// should be dominated by data, and the ifetch stall share must be
 	// meaningful (the paper's core observation).
-	m := Measure(DefaultConfig(Mesh), workload.DataServing, 5000, 10000)
+	m := Measure(DefaultConfig(Mesh), workload.Synth(workload.DataServing), 5000, 10000)
 	if m.L1IMPKI < 5 {
 		t.Fatalf("L1-I MPKI = %.1f: instruction footprint should thrash the L1-I", m.L1IMPKI)
 	}
@@ -138,7 +138,7 @@ func TestInstructionMissesHitInLLC(t *testing.T) {
 
 func TestSnoopsAreRare(t *testing.T) {
 	// Figure 4: coherence activity is negligible (~2% of LLC accesses).
-	m := Measure(DefaultConfig(Mesh), workload.MapReduceC, 5000, 10000)
+	m := Measure(DefaultConfig(Mesh), workload.Synth(workload.MapReduceC), 5000, 10000)
 	rate := m.Dir.SnoopRate()
 	if rate > 0.10 {
 		t.Fatalf("snoop rate %.3f: should be rare", rate)
@@ -146,14 +146,14 @@ func TestSnoopsAreRare(t *testing.T) {
 }
 
 func TestMemoryTrafficFlows(t *testing.T) {
-	m := Measure(small(Mesh), workload.WebSearch, 2000, 4000)
+	m := Measure(small(Mesh), workload.Synth(workload.WebSearch), 2000, 4000)
 	if m.Dir.MemReads == 0 {
 		t.Fatal("vast dataset must generate memory reads")
 	}
 }
 
 func TestMetricsLatencyAccounting(t *testing.T) {
-	m := Measure(small(NOCOut), workload.MapReduceW, 2000, 4000)
+	m := Measure(small(NOCOut), workload.Synth(workload.MapReduceW), 2000, 4000)
 	if m.AvgNetLatency <= 0 || m.AvgRespLatency <= 0 {
 		t.Fatalf("latency accounting broken: %+v", m)
 	}

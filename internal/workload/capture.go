@@ -1,0 +1,478 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"nocout/internal/cpu"
+)
+
+// This file provides whole-chip workload capture and replay (the NOC2
+// format): Record drains every core's stream from any Workload into a
+// Capture, which serializes to a compact varint file and itself
+// implements Workload — so a capture replays through Run, sweeps, and
+// the CLI via the "trace:<path>" scheme, reproducing the recorded
+// workload's behaviour exactly (same seed, same per-core pipeline
+// parameters, same prewarm layout, same instruction streams).
+//
+// Format: the "NOC2" magic, a header (source name, recording seed,
+// software scalability limit, shared instruction/hot regions), then one
+// block per core: member name, pipeline parameters, local region, and
+// the instruction records in the NOC1 encoding (kind uvarint, iaddr
+// varint delta, daddr uvarint for loads/stores; the delta baseline
+// resets per core).
+
+// captureMagic identifies the multi-core capture format.
+var captureMagic = [4]byte{'N', 'O', 'C', '2'}
+
+// Defensive decode caps: corrupt headers must produce clean errors, not
+// multi-gigabyte allocations.
+const (
+	maxCaptureCores  = 1 << 12 // 4096 recorded cores
+	maxCaptureName   = 1 << 10 // name/member strings
+	maxCaptureRegion = 1 << 31 // 2GB per prewarm region (builtins are MBs)
+)
+
+// CoreCapture is one core's recorded stream and identity.
+type CoreCapture struct {
+	// Member names the workload driving this core (the mix member for
+	// heterogeneous sources, the source name otherwise).
+	Member string
+	// Params carries the core's recorded pipeline/ILP/MLP knobs; Seed is
+	// not recorded — replay threads the run's seed through.
+	Params cpu.Params
+	// Local is the core's private L1-resident region.
+	Local Region
+	// Instrs is the recorded dynamic instruction stream.
+	Instrs []cpu.Instr
+}
+
+// Capture is a whole-chip workload recording. It implements Workload
+// (and MemberMapper), replaying each recorded core's stream verbatim —
+// and looping when a run outlasts the recording, so replays stay
+// deterministic at any quality (an exact reproduction additionally needs
+// the recording to cover the run: record at least
+// (warmup+window)×fetch-width instructions per core).
+type Capture struct {
+	// Source is the recorded workload's name; the replay reports it as
+	// its own Name so a sufficient capture reproduces the source's
+	// Result bit for bit.
+	Source string
+	// Seed is the seed the streams were recorded at (provenance; replay
+	// is exact when the run's seed matches).
+	Seed uint64
+	// ScaleLimit is the recorded workload's MaxCores.
+	ScaleLimit int
+	// Instr and Hot are the shared prewarm regions.
+	Instr, Hot Region
+	// Cores holds one recording per core.
+	Cores []CoreCapture
+}
+
+// Record captures cores×perCore instructions from w at the given seed.
+// The decoder's sanity caps are enforced here too, so anything Record
+// accepts is guaranteed to read back.
+func Record(w Workload, cores, perCore int, seed uint64) (*Capture, error) {
+	if cores < 1 || cores > maxCaptureCores {
+		return nil, fmt.Errorf("workload: Record needs 1..%d cores, got %d", maxCaptureCores, cores)
+	}
+	if perCore < 1 || perCore > maxTrace {
+		return nil, fmt.Errorf("workload: Record needs 1..%d instructions per core, got %d", maxTrace, perCore)
+	}
+	if len(w.Name()) > maxCaptureName {
+		return nil, fmt.Errorf("workload: name %.32q... exceeds the %d-byte capture cap", w.Name(), maxCaptureName)
+	}
+	lay := w.Layout()
+	if lay.Instr.Size > maxCaptureRegion || lay.Hot.Size > maxCaptureRegion {
+		return nil, fmt.Errorf("workload: shared region exceeds the %d-byte capture cap", maxCaptureRegion)
+	}
+	// Clamp the recorded limit to the recorded core count: replay can
+	// never drive more cores than were captured, and an Unlimited-wrapped
+	// source would otherwise store a limit the decoder's sanity cap
+	// rejects, making the file unreadable.
+	limit := w.MaxCores()
+	if limit > cores {
+		limit = cores
+	}
+	c := &Capture{
+		Source:     w.Name(),
+		Seed:       seed,
+		ScaleLimit: limit,
+		Instr:      lay.Instr,
+		Hot:        lay.Hot,
+		Cores:      make([]CoreCapture, cores),
+	}
+	for i := 0; i < cores; i++ {
+		member, _ := MemberNameOf(w, i)
+		if len(member) > maxCaptureName {
+			return nil, fmt.Errorf("workload: core %d member name %.32q... exceeds the %d-byte capture cap", i, member, maxCaptureName)
+		}
+		cp := w.CoreParams(i, seed)
+		cp.Seed = 0
+		st := w.StreamFor(i, seed)
+		local := lay.Local(i)
+		if local.Size > maxCaptureRegion {
+			return nil, fmt.Errorf("workload: core %d local region exceeds the %d-byte capture cap", i, maxCaptureRegion)
+		}
+		cc := CoreCapture{Member: member, Params: cp, Local: local, Instrs: make([]cpu.Instr, perCore)}
+		for k := range cc.Instrs {
+			cc.Instrs[k] = st.Next()
+		}
+		c.Cores[i] = cc
+	}
+	return c, nil
+}
+
+// --- Workload implementation -----------------------------------------------
+
+// core maps a chip core to a recorded one; chips wider than the
+// recording reuse streams modulo the recorded count (only reachable when
+// the scalability clamp is lifted).
+func (c *Capture) core(coreID int) *CoreCapture { return &c.Cores[coreID%len(c.Cores)] }
+
+// Name implements Workload; a capture replays under its source's name.
+func (c *Capture) Name() string { return c.Source }
+
+// Aliases implements Workload; captures are addressed as "trace:<path>",
+// not registered.
+func (c *Capture) Aliases() []string { return nil }
+
+// MaxCores implements Workload: the recorded software limit, further
+// clamped to the recorded core count.
+func (c *Capture) MaxCores() int {
+	limit := c.ScaleLimit
+	if limit <= 0 || limit > len(c.Cores) {
+		limit = len(c.Cores)
+	}
+	return limit
+}
+
+// CoreParams implements Workload with the recorded pipeline knobs.
+func (c *Capture) CoreParams(coreID int, seed uint64) cpu.Params {
+	cp := c.core(coreID).Params
+	cp.Seed = seed
+	return cp
+}
+
+// StreamFor implements Workload, replaying the recorded stream in a loop.
+// The seed does not alter a replay — the trace is the trace.
+func (c *Capture) StreamFor(coreID int, seed uint64) cpu.Stream {
+	return &coreReplay{instrs: c.core(coreID).Instrs}
+}
+
+// MemberName implements MemberMapper with the recorded attribution.
+func (c *Capture) MemberName(coreID int) string { return c.core(coreID).Member }
+
+// Layout implements Workload with the recorded regions.
+func (c *Capture) Layout() Layout {
+	return Layout{
+		Instr: c.Instr,
+		Hot:   c.Hot,
+		Local: func(core int) Region { return c.core(core).Local },
+	}
+}
+
+// coreReplay replays one recorded stream, looping at the end.
+type coreReplay struct {
+	instrs []cpu.Instr
+	i      int
+}
+
+// Next implements cpu.Stream.
+func (r *coreReplay) Next() cpu.Instr {
+	in := r.instrs[r.i]
+	r.i++
+	if r.i == len(r.instrs) {
+		r.i = 0
+	}
+	return in
+}
+
+// --- serialization ----------------------------------------------------------
+
+// Write serializes the capture in the NOC2 format. Captures the decoder
+// would reject — over the core, name, or stream caps — are refused
+// rather than written unreadably.
+func (c *Capture) Write(w io.Writer) error {
+	if len(c.Cores) == 0 {
+		return errors.New("workload: refusing to write a capture with no cores")
+	}
+	if len(c.Cores) > maxCaptureCores {
+		return fmt.Errorf("workload: capture has %d cores, cap is %d", len(c.Cores), maxCaptureCores)
+	}
+	if len(c.Source) > maxCaptureName {
+		return fmt.Errorf("workload: source name exceeds the %d-byte cap", maxCaptureName)
+	}
+	if c.ScaleLimit < 0 || c.ScaleLimit > maxCaptureCores {
+		return fmt.Errorf("workload: scale limit %d is outside 0..%d", c.ScaleLimit, maxCaptureCores)
+	}
+	if c.Instr.Size > maxCaptureRegion || c.Hot.Size > maxCaptureRegion {
+		return fmt.Errorf("workload: shared region exceeds the %d-byte cap", maxCaptureRegion)
+	}
+	for i := range c.Cores {
+		if len(c.Cores[i].Member) > maxCaptureName {
+			return fmt.Errorf("workload: core %d member name exceeds the %d-byte cap", i, maxCaptureName)
+		}
+		if len(c.Cores[i].Instrs) > maxTrace {
+			return fmt.Errorf("workload: core %d stream exceeds the %d-instruction cap", i, maxTrace)
+		}
+		if c.Cores[i].Local.Size > maxCaptureRegion {
+			return fmt.Errorf("workload: core %d local region exceeds the %d-byte cap", i, maxCaptureRegion)
+		}
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(captureMagic[:]); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putU := func(v uint64) error {
+		k := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:k])
+		return err
+	}
+	putI := func(v int64) error {
+		k := binary.PutVarint(buf[:], v)
+		_, err := bw.Write(buf[:k])
+		return err
+	}
+	putS := func(s string) error {
+		if err := putU(uint64(len(s))); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(s)
+		return err
+	}
+	putRegion := func(r Region) error {
+		if err := putU(r.Base); err != nil {
+			return err
+		}
+		return putU(r.Size)
+	}
+	if err := putS(c.Source); err != nil {
+		return err
+	}
+	if err := putU(c.Seed); err != nil {
+		return err
+	}
+	if err := putU(uint64(c.ScaleLimit)); err != nil {
+		return err
+	}
+	if err := putRegion(c.Instr); err != nil {
+		return err
+	}
+	if err := putRegion(c.Hot); err != nil {
+		return err
+	}
+	if err := putU(uint64(len(c.Cores))); err != nil {
+		return err
+	}
+	for i := range c.Cores {
+		cc := &c.Cores[i]
+		if len(cc.Instrs) == 0 {
+			return fmt.Errorf("workload: core %d has an empty stream", i)
+		}
+		if err := putS(cc.Member); err != nil {
+			return err
+		}
+		for _, v := range []uint64{uint64(cc.Params.Width), uint64(cc.Params.ROB),
+			math.Float64bits(cc.Params.BaseCPI), math.Float64bits(cc.Params.DepChance)} {
+			if err := putU(v); err != nil {
+				return err
+			}
+		}
+		if err := putRegion(cc.Local); err != nil {
+			return err
+		}
+		if err := putU(uint64(len(cc.Instrs))); err != nil {
+			return err
+		}
+		prev := int64(0)
+		for _, in := range cc.Instrs {
+			if err := putU(uint64(in.Kind)); err != nil {
+				return err
+			}
+			if err := putI(int64(in.IAddr) - prev); err != nil {
+				return err
+			}
+			prev = int64(in.IAddr)
+			if in.Kind != cpu.KindALU {
+				if err := putU(in.DAddr); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCapture decodes a capture written by Write. Corrupt or truncated
+// inputs produce errors, never panics or unbounded allocations, and the
+// decoded pipeline parameters are validated so a replayed chip cannot be
+// built from garbage.
+func ReadCapture(r io.Reader) (*Capture, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("workload: reading capture header: %w", err)
+	}
+	if magic != captureMagic {
+		return nil, errors.New("workload: not a NOC2 capture (record one with Record or nocout -record-trace)")
+	}
+	getU := func(what string) (uint64, error) {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return 0, fmt.Errorf("workload: capture %s: %w", what, err)
+		}
+		return v, nil
+	}
+	getS := func(what string) (string, error) {
+		n, err := getU(what + " length")
+		if err != nil {
+			return "", err
+		}
+		if n > maxCaptureName {
+			return "", fmt.Errorf("workload: capture %s length %d exceeds cap", what, n)
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return "", fmt.Errorf("workload: capture %s: %w", what, err)
+		}
+		return string(b), nil
+	}
+	getRegion := func(what string) (Region, error) {
+		base, err := getU(what + " base")
+		if err != nil {
+			return Region{}, err
+		}
+		size, err := getU(what + " size")
+		if err != nil {
+			return Region{}, err
+		}
+		// An absurd decoded size would hang the chip's line-by-line
+		// prewarm, not fail cleanly — reject it here.
+		if size > maxCaptureRegion {
+			return Region{}, fmt.Errorf("workload: capture %s size %d exceeds cap", what, size)
+		}
+		return Region{Base: base, Size: size}, nil
+	}
+
+	c := &Capture{}
+	var err error
+	if c.Source, err = getS("source name"); err != nil {
+		return nil, err
+	}
+	if c.Seed, err = getU("seed"); err != nil {
+		return nil, err
+	}
+	limit, err := getU("scale limit")
+	if err != nil {
+		return nil, err
+	}
+	if limit > maxCaptureCores {
+		return nil, fmt.Errorf("workload: capture scale limit %d exceeds cap", limit)
+	}
+	c.ScaleLimit = int(limit)
+	if c.Instr, err = getRegion("instr region"); err != nil {
+		return nil, err
+	}
+	if c.Hot, err = getRegion("hot region"); err != nil {
+		return nil, err
+	}
+	nCores, err := getU("core count")
+	if err != nil {
+		return nil, err
+	}
+	if nCores == 0 {
+		return nil, errors.New("workload: capture has no cores")
+	}
+	if nCores > maxCaptureCores {
+		return nil, fmt.Errorf("workload: capture core count %d exceeds cap", nCores)
+	}
+	c.Cores = make([]CoreCapture, nCores)
+	for i := range c.Cores {
+		cc := &c.Cores[i]
+		if cc.Member, err = getS(fmt.Sprintf("core %d member", i)); err != nil {
+			return nil, err
+		}
+		var raw [4]uint64
+		for k, what := range []string{"width", "rob", "base cpi", "dep chance"} {
+			if raw[k], err = getU(fmt.Sprintf("core %d %s", i, what)); err != nil {
+				return nil, err
+			}
+		}
+		cc.Params = cpu.Params{
+			Width: int(raw[0]), ROB: int(raw[1]),
+			BaseCPI: math.Float64frombits(raw[2]), DepChance: math.Float64frombits(raw[3]),
+		}
+		if err := validCoreParams(i, cc.Params); err != nil {
+			return nil, err
+		}
+		if cc.Local, err = getRegion(fmt.Sprintf("core %d local region", i)); err != nil {
+			return nil, err
+		}
+		n, err := getU(fmt.Sprintf("core %d stream length", i))
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return nil, fmt.Errorf("workload: core %d has an empty stream", i)
+		}
+		if n > maxTrace {
+			return nil, fmt.Errorf("workload: core %d stream length %d exceeds cap", i, n)
+		}
+		if cc.Instrs, err = readRecords(br, n); err != nil {
+			return nil, fmt.Errorf("workload: core %d: %w", i, err)
+		}
+	}
+	return c, nil
+}
+
+// validCoreParams rejects decoded pipeline parameters the cpu model would
+// panic on (cpu.New's constructor contract).
+func validCoreParams(core int, p cpu.Params) error {
+	switch {
+	case p.Width < 1 || p.Width > 64:
+		return fmt.Errorf("workload: core %d has implausible width %d", core, p.Width)
+	case p.ROB < p.Width || p.ROB > 1<<16:
+		return fmt.Errorf("workload: core %d has implausible ROB %d", core, p.ROB)
+	case math.IsNaN(p.BaseCPI) || math.IsInf(p.BaseCPI, 0) || p.BaseCPI < 1.0/float64(p.Width) || p.BaseCPI > 1e6:
+		return fmt.Errorf("workload: core %d has implausible base CPI %v", core, p.BaseCPI)
+	case math.IsNaN(p.DepChance) || p.DepChance < 0 || p.DepChance > 1:
+		return fmt.Errorf("workload: core %d has implausible dep chance %v", core, p.DepChance)
+	}
+	return nil
+}
+
+// Save writes the capture to a file.
+func (c *Capture) Save(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return c.Write(f)
+}
+
+// LoadCapture reads a capture file; it is how the "trace:<path>" workload
+// scheme resolves.
+func LoadCapture(path string) (*Capture, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	defer f.Close()
+	c, err := ReadCapture(f)
+	if err != nil {
+		return nil, fmt.Errorf("workload: capture %s: %w", path, err)
+	}
+	return c, nil
+}

@@ -1,0 +1,200 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"nocout/internal/cpu"
+)
+
+func TestCaptureRoundTrip(t *testing.T) {
+	src := ConsolidatedMix() // heterogeneous: exercises per-core params + members
+	cap, err := Record(src, 4, 2000, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cap.Source != "Consolidated" || cap.Seed != 17 || len(cap.Cores) != 4 {
+		t.Fatalf("capture header %+v", cap)
+	}
+
+	var buf bytes.Buffer
+	if err := cap.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCapture(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cap, back) {
+		t.Fatal("capture did not round-trip bit-identically")
+	}
+
+	// The replay reproduces the recorded streams and attribution.
+	for core := 0; core < 4; core++ {
+		ref := src.StreamFor(core, 17)
+		st := back.StreamFor(core, 99) // replay ignores the seed
+		for i := 0; i < 2000; i++ {
+			if got, want := st.Next(), ref.Next(); got != want {
+				t.Fatalf("core %d record %d: %+v != %+v", core, i, got, want)
+			}
+		}
+		if back.MemberName(core) != src.MemberName(core) {
+			t.Fatalf("core %d member %q != %q", core, back.MemberName(core), src.MemberName(core))
+		}
+		cp, want := back.CoreParams(core, 5), src.CoreParams(core, 5)
+		if cp != want {
+			t.Fatalf("core %d params %+v != %+v", core, cp, want)
+		}
+	}
+
+	// Layout survives: shared regions and per-core locals.
+	lay, ref := back.Layout(), src.Layout()
+	if lay.Instr != ref.Instr || lay.Hot != ref.Hot {
+		t.Fatalf("shared regions: %+v/%+v != %+v/%+v", lay.Instr, lay.Hot, ref.Instr, ref.Hot)
+	}
+	for core := 0; core < 4; core++ {
+		if lay.Local(core) != ref.Local(core) {
+			t.Fatalf("core %d local region %+v != %+v", core, lay.Local(core), ref.Local(core))
+		}
+	}
+}
+
+func TestCaptureReplayLoops(t *testing.T) {
+	cap, err := Record(Synth(WebSearch), 1, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := cap.StreamFor(0, 1)
+	var first [50]cpu.Instr
+	for i := range first {
+		first[i] = st.Next()
+	}
+	for round := 0; round < 3; round++ {
+		for i := range first {
+			if got := st.Next(); got != first[i] {
+				t.Fatalf("round %d record %d: %+v != %+v", round, i, got, first[i])
+			}
+		}
+	}
+}
+
+func TestCaptureMaxCoresClamp(t *testing.T) {
+	cap, err := Record(Synth(DataServing), 4, 10, 1) // source scales to 64
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cap.MaxCores() != 4 {
+		t.Fatalf("MaxCores = %d, must clamp to the 4 recorded cores", cap.MaxCores())
+	}
+	// A 2-core source recorded onto more cores keeps its software limit.
+	ws, err := Record(Synth(WebSearch), 32, 10, 1) // source scales to 16
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.ScaleLimit != 16 || ws.MaxCores() != 16 {
+		t.Fatalf("scale limit = %d, MaxCores = %d, want 16", ws.ScaleLimit, ws.MaxCores())
+	}
+	// Cores beyond the recording reuse streams modulo the recorded count.
+	a, b := cap.StreamFor(6, 1), cap.StreamFor(2, 1)
+	for i := 0; i < 10; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("modulo stream reuse broken")
+		}
+	}
+}
+
+func TestCaptureOfUnlimitedWorkloadRoundTrips(t *testing.T) {
+	// An Unlimited-wrapped source reports MaxInt; the recording must
+	// clamp the stored limit so the file stays decodable.
+	cap, err := Record(Unlimited(Synth(WebSearch)), 4, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cap.ScaleLimit != 4 {
+		t.Fatalf("recorded scale limit = %d, want the 4 recorded cores", cap.ScaleLimit)
+	}
+	var buf bytes.Buffer
+	if err := cap.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCapture(&buf)
+	if err != nil {
+		t.Fatalf("capture of an unlimited workload must decode: %v", err)
+	}
+	if back.MaxCores() != 4 {
+		t.Fatalf("MaxCores = %d", back.MaxCores())
+	}
+}
+
+func TestCaptureSaveLoad(t *testing.T) {
+	cap, err := Record(Synth(SATSolver), 2, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sat.noctrace")
+	if err := cap.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCapture(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cap, back) {
+		t.Fatal("file round-trip lost data")
+	}
+	if _, err := LoadCapture(filepath.Join(t.TempDir(), "missing.noctrace")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestRecordValidation(t *testing.T) {
+	if _, err := Record(Synth(DataServing), 0, 10, 1); err == nil {
+		t.Fatal("zero cores must error")
+	}
+	if _, err := Record(Synth(DataServing), 1, 0, 1); err == nil {
+		t.Fatal("zero instructions must error")
+	}
+	if err := (&Capture{}).Write(&bytes.Buffer{}); err == nil {
+		t.Fatal("writing an empty capture must error")
+	}
+}
+
+// TestReadCaptureRejectsCorruption drives the decoder through the main
+// corruption classes: wrong magic, truncation at every byte boundary,
+// and implausible decoded pipeline parameters. None may panic.
+func TestReadCaptureRejectsCorruption(t *testing.T) {
+	cap, err := Record(Synth(MapReduceW), 2, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := cap.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	if _, err := ReadCapture(bytes.NewReader([]byte("NOC1....."))); err == nil {
+		t.Fatal("NOC1 magic must be rejected by the capture reader")
+	}
+	for cut := 0; cut < len(valid); cut += 17 {
+		if _, err := ReadCapture(bytes.NewReader(valid[:cut])); err == nil {
+			t.Fatalf("truncation at %d must error", cut)
+		}
+	}
+
+	// Corrupt the recorded BaseCPI to NaN: the decoder must reject the
+	// parameters rather than hand the cpu model a panic.
+	bad := *cap
+	bad.Cores = append([]CoreCapture(nil), cap.Cores...)
+	bad.Cores[0].Params.BaseCPI = math.NaN()
+	buf.Reset()
+	if err := bad.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCapture(&buf); err == nil {
+		t.Fatal("NaN base CPI must be rejected")
+	}
+}

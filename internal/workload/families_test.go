@@ -1,0 +1,148 @@
+package workload
+
+import (
+	"testing"
+
+	"nocout/internal/cpu"
+)
+
+func TestMixAssignment(t *testing.T) {
+	m := NewMix("M", DataServing, MapReduceC, SATSolver)
+	wantRR := []string{DataServing.Name, MapReduceC.Name, SATSolver.Name, DataServing.Name}
+	for core, want := range wantRR {
+		if got := m.MemberName(core); got != want {
+			t.Errorf("round-robin MemberName(%d) = %q, want %q", core, got, want)
+		}
+	}
+	// Streams and core params come from the assigned member.
+	a, b := m.StreamFor(1, 7), NewGenerator(MapReduceC, 1, 7)
+	for i := 0; i < 500; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("mix core 1 diverged from its member generator at %d", i)
+		}
+	}
+	if cp := m.CoreParams(2, 5); cp.BaseCPI != SATSolver.BaseCPI || cp.Seed != 5 {
+		t.Fatalf("CoreParams(2) = %+v, want SAT Solver's knobs", cp)
+	}
+
+	ex := m.WithAssignment([]int{2, 2, 0})
+	if ex.MemberName(0) != SATSolver.Name || ex.MemberName(2) != DataServing.Name || ex.MemberName(3) != SATSolver.Name {
+		t.Fatalf("explicit assignment not honored: %q %q %q", ex.MemberName(0), ex.MemberName(2), ex.MemberName(3))
+	}
+	// Builders are copy-on-write: the original (possibly registered and
+	// shared) mix keeps its round-robin assignment.
+	if m.MemberName(0) != DataServing.Name {
+		t.Fatal("WithAssignment mutated the receiver")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range assignment must panic")
+		}
+	}()
+	m.WithAssignment([]int{3})
+}
+
+func TestMixMaxCoresAndLayout(t *testing.T) {
+	m := NewMix("M", DataServing, WebSearch) // 64- and 16-core members
+	if m.MaxCores() != 16 {
+		t.Fatalf("mix MaxCores = %d, want the least scalable member's 16", m.MaxCores())
+	}
+	lay := m.Layout()
+	if lay.Instr.Size != DataServing.InstrFootprint {
+		t.Fatalf("mix instr region %d, want the largest member footprint %d", lay.Instr.Size, DataServing.InstrFootprint)
+	}
+	if lay.Hot.Size != WebSearch.HotB {
+		t.Fatalf("mix hot region %d, want max(HotB) = %d", lay.Hot.Size, WebSearch.HotB)
+	}
+	// Core 1 runs Web Search: its local region is Web Search's 16KB.
+	if got := lay.Local(1).Size; got != WebSearch.LocalB {
+		t.Fatalf("core 1 local region %d, want %d", got, WebSearch.LocalB)
+	}
+}
+
+func TestPhasedSchedule(t *testing.T) {
+	// Two phases with disjoint footprint sizes make the schedule visible
+	// in the instruction addresses.
+	small, big := SATSolver, DataServing
+	small.InstrFootprint = 1 << 20
+	big.InstrFootprint = 6 << 20
+	p := NewPhased("P", Phase{small, 1000}, Phase{big, 1000})
+
+	st := p.StreamFor(0, 3)
+	overSmall := func(n int) int {
+		count := 0
+		for i := 0; i < n; i++ {
+			if st.Next().IAddr >= small.InstrFootprint {
+				count++
+			}
+		}
+		return count
+	}
+	if c := overSmall(1000); c != 0 {
+		t.Fatalf("phase 1: %d addresses outside the small footprint", c)
+	}
+	if c := overSmall(1000); c == 0 {
+		t.Fatal("phase 2 never left the small footprint: schedule not switching")
+	}
+	if c := overSmall(1000); c != 0 {
+		t.Fatalf("schedule must cycle back to phase 1, saw %d big-footprint addresses", c)
+	}
+
+	// Determinism: same (core, seed) => identical stream across phases.
+	x, y := p.StreamFor(2, 11), p.StreamFor(2, 11)
+	for i := 0; i < 5000; i++ {
+		if x.Next() != y.Next() {
+			t.Fatalf("phased stream nondeterministic at %d", i)
+		}
+	}
+}
+
+func TestPhasedCoreParamsBlend(t *testing.T) {
+	p := NewPhased("P", Phase{MapReduceC, 1000}, Phase{MapReduceW, 3000})
+	cp := p.CoreParams(0, 9)
+	wantCPI := (MapReduceC.BaseCPI*1000 + MapReduceW.BaseCPI*3000) / 4000
+	wantDep := (MapReduceC.DepChance*1000 + MapReduceW.DepChance*3000) / 4000
+	if cp.BaseCPI != wantCPI || cp.DepChance != wantDep {
+		t.Fatalf("blend = (%v, %v), want (%v, %v)", cp.BaseCPI, cp.DepChance, wantCPI, wantDep)
+	}
+	if cp.Seed != 9 || cp.Width != cpu.DefaultParams().Width {
+		t.Fatalf("pipeline shape/seed wrong: %+v", cp)
+	}
+}
+
+func TestPhasedIdenticalPhasesStayDistinct(t *testing.T) {
+	// Two phases with the same calibration must not replay the same
+	// stream (the per-phase seed salt).
+	p := NewPhased("P", Phase{MapReduceC, 100}, Phase{MapReduceC, 100})
+	st := p.StreamFor(0, 1)
+	var first, second [100]cpu.Instr
+	for i := range first {
+		first[i] = st.Next()
+	}
+	for i := range second {
+		second[i] = st.Next()
+	}
+	if first == second {
+		t.Fatal("identical phases replayed the identical stream")
+	}
+}
+
+func TestFamilyValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"mix without members":   func() { NewMix("M") },
+		"mix without name":      func() { NewMix("", DataServing) },
+		"phased without phases": func() { NewPhased("P") },
+		"phase without length":  func() { NewPhased("P", Phase{MapReduceC, 0}) },
+		"empty assignment":      func() { NewMix("M", DataServing).WithAssignment(nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s must panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

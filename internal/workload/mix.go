@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"fmt"
+
+	"nocout/internal/cpu"
+)
+
+// Mix is a multiprogrammed workload: each core runs one *member*
+// workload, modeling the consolidated scale-out deployments the paper's
+// background assumes (many independent server instances sharing one die).
+// Members share the OS/server-software address-space shape of the
+// synthetic model — the common instruction region and the hot read-write
+// region — while their datasets stay per-core private, so a mix exercises
+// the same coherence and LLC paths as a homogeneous run but with
+// heterogeneous per-core demand. Mix implements MemberMapper, so results
+// carry a per-member IPC breakdown.
+type Mix struct {
+	name    string
+	aliases []string
+	members []Params
+	assign  []int // core -> member index; round-robin when empty
+}
+
+// NewMix builds a mix over the member calibrations with round-robin
+// core assignment (core i runs members[i % len(members)]).
+func NewMix(name string, members ...Params) *Mix {
+	if name == "" {
+		panic("workload: NewMix needs a name")
+	}
+	if len(members) == 0 {
+		panic("workload: NewMix needs at least one member")
+	}
+	return &Mix{name: name, members: members}
+}
+
+// WithAliases returns a copy of the mix with extra CLI spellings; the
+// receiver is untouched, so deriving from a registered mix (shared and
+// read concurrently by worker pools) is safe.
+func (m *Mix) WithAliases(aliases ...string) *Mix {
+	n := *m
+	n.aliases = append(append([]string(nil), m.aliases...), aliases...)
+	return &n
+}
+
+// WithAssignment returns a copy of the mix with round-robin replaced by
+// an explicit core→member table; cores beyond its length wrap around.
+// Values index the member list. The receiver is untouched.
+func (m *Mix) WithAssignment(assign []int) *Mix {
+	if len(assign) == 0 {
+		panic("workload: WithAssignment needs at least one entry")
+	}
+	for i, v := range assign {
+		if v < 0 || v >= len(m.members) {
+			panic(fmt.Sprintf("workload: assignment[%d] = %d indexes outside %d members", i, v, len(m.members)))
+		}
+	}
+	n := *m
+	n.assign = append([]int(nil), assign...)
+	return &n
+}
+
+// Members returns the member calibrations in assignment-index order.
+func (m *Mix) Members() []Params { return m.members }
+
+// memberIdx maps a core to its member.
+func (m *Mix) memberIdx(coreID int) int {
+	if len(m.assign) > 0 {
+		return m.assign[coreID%len(m.assign)]
+	}
+	return coreID % len(m.members)
+}
+
+// Name implements Workload.
+func (m *Mix) Name() string { return m.name }
+
+// Aliases implements Workload.
+func (m *Mix) Aliases() []string { return m.aliases }
+
+// MaxCores implements Workload: the mix scales only as far as its least
+// scalable member (the consolidated stack is limited by its worst tenant).
+func (m *Mix) MaxCores() int { return minScaleLimit(m.members) }
+
+// CoreParams implements Workload with the assigned member's ILP/MLP knobs.
+func (m *Mix) CoreParams(coreID int, seed uint64) cpu.Params {
+	return m.members[m.memberIdx(coreID)].CoreParams(seed)
+}
+
+// StreamFor implements Workload: the core runs its member's generator.
+func (m *Mix) StreamFor(coreID int, seed uint64) cpu.Stream {
+	return NewGenerator(m.members[m.memberIdx(coreID)], coreID, seed)
+}
+
+// MemberName implements MemberMapper.
+func (m *Mix) MemberName(coreID int) string {
+	return m.members[m.memberIdx(coreID)].Name
+}
+
+// Layout implements Workload: shared regions cover the largest member
+// (prewarming a superset keeps every member's steady state resident);
+// each core's local region is its own member's.
+func (m *Mix) Layout() Layout {
+	instr, hot := uint64(0), uint64(0)
+	for _, p := range m.members {
+		instr = max(instr, p.InstrFootprint)
+		hot = max(hot, p.HotB)
+	}
+	return Layout{
+		Instr: Region{Base: instrBase, Size: instr},
+		Hot:   Region{Base: hotBase, Size: hot},
+		Local: func(core int) Region {
+			base, size := m.members[m.memberIdx(core)].LocalRegion(core)
+			return Region{Base: base, Size: size}
+		},
+	}
+}
+
+// ConsolidatedMix is the registered example mix: three 64-core-scalable
+// members with contrasting ILP/MLP (latency-bound Data Serving, balanced
+// MapReduce-C, compute-leaning SAT Solver) round-robined across the die.
+func ConsolidatedMix() *Mix {
+	return NewMix("Consolidated", DataServing, MapReduceC, SATSolver).WithAliases("mix")
+}

@@ -1,0 +1,151 @@
+package workload
+
+import (
+	"fmt"
+
+	"nocout/internal/cpu"
+)
+
+// Phased is a deterministic time-varying workload: every core cycles
+// through a fixed schedule of phases, each a synthetic calibration run
+// for a set number of dynamic instructions — the MapReduce map→shuffle
+// alternation is the canonical instance. The schedule is positional
+// (instruction counts, not wall cycles), so it is identical for any
+// interconnect or quality and the streams stay bit-deterministic.
+type Phased struct {
+	name    string
+	aliases []string
+	phases  []Phase
+}
+
+// Phase is one stage of a phased schedule.
+type Phase struct {
+	Params Params
+	// Instrs is the phase length in dynamic instructions per core.
+	Instrs int
+}
+
+// NewPhased builds a phased workload cycling through the schedule.
+func NewPhased(name string, phases ...Phase) *Phased {
+	if name == "" {
+		panic("workload: NewPhased needs a name")
+	}
+	if len(phases) == 0 {
+		panic("workload: NewPhased needs at least one phase")
+	}
+	for i, ph := range phases {
+		if ph.Instrs <= 0 {
+			panic(fmt.Sprintf("workload: phase %d (%s) needs a positive instruction count", i, ph.Params.Name))
+		}
+	}
+	return &Phased{name: name, phases: phases}
+}
+
+// WithAliases returns a copy of the workload with extra CLI spellings;
+// the receiver is untouched, so deriving from a registered instance
+// (shared and read concurrently by worker pools) is safe.
+func (p *Phased) WithAliases(aliases ...string) *Phased {
+	n := *p
+	n.aliases = append(append([]string(nil), p.aliases...), aliases...)
+	return &n
+}
+
+// Phases returns the schedule.
+func (p *Phased) Phases() []Phase { return p.phases }
+
+// Name implements Workload.
+func (p *Phased) Name() string { return p.name }
+
+// Aliases implements Workload.
+func (p *Phased) Aliases() []string { return p.aliases }
+
+// MaxCores implements Workload: the schedule scales only as far as its
+// least scalable phase.
+func (p *Phased) MaxCores() int {
+	members := make([]Params, len(p.phases))
+	for i, ph := range p.phases {
+		members[i] = ph.Params
+	}
+	return minScaleLimit(members)
+}
+
+// CoreParams implements Workload. The pipeline's ILP/MLP knobs cannot
+// change mid-run (they are core construction parameters), so the phased
+// core runs a schedule-weighted blend of its phases' BaseCPI and
+// DepChance; the memory behaviour — footprints, fractions, regions —
+// is what actually varies phase by phase.
+func (p *Phased) CoreParams(coreID int, seed uint64) cpu.Params {
+	var cpi, dep, weight float64
+	for _, ph := range p.phases {
+		w := float64(ph.Instrs)
+		cpi += ph.Params.BaseCPI * w
+		dep += ph.Params.DepChance * w
+		weight += w
+	}
+	cp := cpu.DefaultParams()
+	cp.BaseCPI = cpi / weight
+	cp.DepChance = dep / weight
+	cp.Seed = seed
+	return cp
+}
+
+// phaseSeedSalt decorrelates the per-phase generators so two phases with
+// identical calibrations still produce distinct streams.
+const phaseSeedSalt = 0x9E3779B97F4A7C15
+
+// StreamFor implements Workload.
+func (p *Phased) StreamFor(coreID int, seed uint64) cpu.Stream {
+	gens := make([]*Generator, len(p.phases))
+	for i, ph := range p.phases {
+		gens[i] = NewGenerator(ph.Params, coreID, seed+uint64(i)*phaseSeedSalt)
+	}
+	return &phasedStream{phases: p.phases, gens: gens, left: p.phases[0].Instrs}
+}
+
+// Layout implements Workload: shared and local regions cover the largest
+// phase so every phase's steady state is prewarmed.
+func (p *Phased) Layout() Layout {
+	instr, hot, local := uint64(0), uint64(0), uint64(0)
+	for _, ph := range p.phases {
+		instr = max(instr, ph.Params.InstrFootprint)
+		hot = max(hot, ph.Params.HotB)
+		local = max(local, ph.Params.LocalB)
+	}
+	return Layout{
+		Instr: Region{Base: instrBase, Size: instr},
+		Hot:   Region{Base: hotBase, Size: hot},
+		Local: func(core int) Region {
+			base, _ := p.phases[0].Params.LocalRegion(core)
+			return Region{Base: base, Size: local}
+		},
+	}
+}
+
+// phasedStream cycles through the schedule's generators.
+type phasedStream struct {
+	phases []Phase
+	gens   []*Generator
+	idx    int
+	left   int
+}
+
+// Next implements cpu.Stream.
+func (s *phasedStream) Next() cpu.Instr {
+	if s.left == 0 {
+		s.idx = (s.idx + 1) % len(s.gens)
+		s.left = s.phases[s.idx].Instrs
+	}
+	s.left--
+	return s.gens[s.idx].Next()
+}
+
+// MapReducePhased is the registered example schedule: MapReduce
+// alternating a compute-heavy map phase (the MapReduce-C calibration)
+// with a data-movement shuffle phase (the MapReduce-W calibration),
+// 30k instructions each.
+func MapReducePhased() *Phased {
+	return NewPhased("MapReduce-Phased",
+		Phase{Params: MapReduceC, Instrs: 30000},
+		Phase{Params: MapReduceW, Instrs: 30000},
+	).WithAliases("phased")
+}

@@ -1,0 +1,133 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// The workload registry, mirroring the chip package's Organization
+// registry: every string a CLI flag, sweep spec, or config file can carry
+// resolves here, case-insensitively and alias-aware. Registration is rare
+// and reads are hot (every Run and sweep expansion), so an RWMutex guards
+// it; safe for concurrent use from experiment worker pools.
+var (
+	regMu   sync.RWMutex
+	regList []Workload
+	regKeys = map[string]Workload{}
+)
+
+func init() {
+	// The paper's six, in figure order, with their common CLI spellings.
+	for _, b := range []struct {
+		p       Params
+		aliases []string
+	}{
+		{DataServing, []string{"data-serving", "cassandra"}},
+		{MapReduceC, []string{"mapred-c"}},
+		{MapReduceW, []string{"mapred-w"}},
+		{SATSolver, []string{"sat-solver", "sat"}},
+		{WebFrontend, []string{"web-frontend", "frontend"}},
+		{WebSearch, []string{"web-search", "websearch", "search"}},
+	} {
+		mustRegister(Synth(b.p, b.aliases...))
+	}
+	// Worked examples of the heterogeneous families, registered through
+	// the same public path user workloads use. The Figure* studies pin the
+	// builtin six explicitly, so these never shift regenerated paper
+	// numbers.
+	mustRegister(ConsolidatedMix())
+	mustRegister(MapReducePhased())
+}
+
+// Register adds a workload to the registry so that every name-based entry
+// point (Parse, sweep specs, CLI flags) can resolve it. The name and
+// aliases must be non-empty and unique case-insensitively, and must not
+// contain ':' (reserved for schemes like "trace:<path>"). Safe for
+// concurrent use.
+func Register(w Workload) error {
+	name := strings.TrimSpace(w.Name())
+	if name == "" {
+		return fmt.Errorf("workload: Register needs a name")
+	}
+	keys := []string{strings.ToLower(name)}
+	for _, a := range w.Aliases() {
+		a = strings.ToLower(strings.TrimSpace(a))
+		if a == "" {
+			return fmt.Errorf("workload: %q has an empty alias", name)
+		}
+		if a != keys[0] {
+			keys = append(keys, a)
+		}
+	}
+	for _, k := range keys {
+		if strings.Contains(k, ":") {
+			return fmt.Errorf("workload: name %q contains ':' (reserved for schemes)", k)
+		}
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	for _, k := range keys {
+		if prev, dup := regKeys[k]; dup {
+			return fmt.Errorf("workload: name %q already registered by %s", k, prev.Name())
+		}
+	}
+	regList = append(regList, w)
+	for _, k := range keys {
+		regKeys[k] = w
+	}
+	return nil
+}
+
+// mustRegister is Register for the package's own init-time registrations.
+func mustRegister(w Workload) Workload {
+	if err := Register(w); err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// All returns every registered workload: the paper's six in figure order,
+// then the example families, then user registrations in registration
+// order.
+func All() []Workload {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Workload, len(regList))
+	copy(out, regList)
+	return out
+}
+
+// Names returns the registered workload names in registration order.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, len(regList))
+	for i, w := range regList {
+		names[i] = w.Name()
+	}
+	return names
+}
+
+// TraceScheme prefixes a capture file path to form a workload name that
+// Parse resolves by loading the file: "trace:/path/to/ws.noctrace".
+const TraceScheme = "trace:"
+
+// Parse resolves a workload from any registered spelling — names and
+// aliases, case-insensitively ("data-serving", "websearch", "WEB Search")
+// — or loads a recorded capture via the "trace:<path>" scheme.
+func Parse(s string) (Workload, error) {
+	trimmed := strings.TrimSpace(s)
+	if strings.HasPrefix(strings.ToLower(trimmed), TraceScheme) {
+		return LoadCapture(trimmed[len(TraceScheme):])
+	}
+	key := strings.ToLower(trimmed)
+	regMu.RLock()
+	w, ok := regKeys[key]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown workload %q (want %s, an alias, or trace:<path>)",
+			s, strings.Join(Names(), " | "))
+	}
+	return w, nil
+}

@@ -82,36 +82,50 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 	if err != nil {
 		return nil, fmt.Errorf("workload: reading trace length: %w", err)
 	}
-	const maxTrace = 1 << 28 // defensive cap: 256M instructions
 	if n > maxTrace {
 		return nil, fmt.Errorf("workload: trace length %d exceeds cap", n)
 	}
-	t := &Trace{Instrs: make([]cpu.Instr, 0, n)}
+	instrs, err := readRecords(br, n)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	return &Trace{Instrs: instrs}, nil
+}
+
+// maxTrace is the defensive per-stream cap: 256M instructions.
+const maxTrace = 1 << 28
+
+// readRecords decodes n instruction records (kind uvarint, iaddr varint
+// delta, daddr uvarint for loads/stores). The slice grows as records
+// arrive — a corrupt header claiming a huge n cannot force a huge
+// allocation; it fails at the first missing record instead.
+func readRecords(br *bufio.Reader, n uint64) ([]cpu.Instr, error) {
+	instrs := make([]cpu.Instr, 0, min(n, 1<<16))
 	prev := int64(0)
 	for i := uint64(0); i < n; i++ {
 		kind, err := binary.ReadUvarint(br)
 		if err != nil {
-			return nil, fmt.Errorf("workload: record %d kind: %w", i, err)
+			return nil, fmt.Errorf("record %d kind: %w", i, err)
 		}
 		if kind > uint64(cpu.KindStore) {
-			return nil, fmt.Errorf("workload: record %d has invalid kind %d", i, kind)
+			return nil, fmt.Errorf("record %d has invalid kind %d", i, kind)
 		}
 		delta, err := binary.ReadVarint(br)
 		if err != nil {
-			return nil, fmt.Errorf("workload: record %d iaddr: %w", i, err)
+			return nil, fmt.Errorf("record %d iaddr: %w", i, err)
 		}
 		prev += delta
 		in := cpu.Instr{Kind: cpu.InstrKind(kind), IAddr: uint64(prev)}
 		if in.Kind != cpu.KindALU {
 			d, err := binary.ReadUvarint(br)
 			if err != nil {
-				return nil, fmt.Errorf("workload: record %d daddr: %w", i, err)
+				return nil, fmt.Errorf("record %d daddr: %w", i, err)
 			}
 			in.DAddr = d
 		}
-		t.Instrs = append(t.Instrs, in)
+		instrs = append(instrs, in)
 	}
-	return t, nil
+	return instrs, nil
 }
 
 // Len returns the trace length in instructions.

@@ -1,6 +1,18 @@
-// Package workload synthesizes the memory behaviour of the six CloudSuite
-// scale-out workloads the paper evaluates (§5.3). The paper's own
-// characterization (§2.1) defines the traits each generator reproduces:
+// Package workload provides the chip's workload sources behind one
+// behavioral interface (Workload, api.go): self-describing values a
+// registry resolves by name or alias, each answering for its software
+// scalability, per-core pipeline parameters, per-core instruction
+// streams, and prewarm address layout. Four families implement it:
+//
+//   - Synthetic (this file): the six CloudSuite scale-out workloads the
+//     paper evaluates (§5.3);
+//   - Capture (capture.go): recorded traces replayed verbatim, loaded
+//     through the "trace:<path>" scheme;
+//   - Mix (mix.go): multiprogrammed per-core member assignment;
+//   - Phased (phased.go): deterministic time-varying phase schedules.
+//
+// The synthetic model reproduces the paper's characterization (§2.1),
+// which defines the traits each generator exhibits:
 //
 //   - a multi-megabyte *shared* instruction footprint with complex control
 //     flow: every core executes the same binary region as runs of
@@ -21,9 +33,6 @@
 package workload
 
 import (
-	"fmt"
-	"sync"
-
 	"nocout/internal/cpu"
 	"nocout/internal/sim"
 )
@@ -111,63 +120,10 @@ var (
 )
 
 // Builtin returns the paper's six-workload evaluation suite in figure
-// order, excluding Register-ed workloads — the set the Figure* studies
+// order, excluding registered additions — the set the Figure* studies
 // must sweep to stay comparable with the paper.
 func Builtin() []Params {
 	return []Params{DataServing, MapReduceC, MapReduceW, SATSolver, WebFrontend, WebSearch}
-}
-
-// registered holds workloads added through Register, in registration
-// order, after the builtin suite. regMu guards it: Register may be
-// called from any goroutine, concurrently with readers like All/ByName.
-var (
-	regMu      sync.RWMutex
-	registered []Params
-)
-
-// Register adds a workload to the suite so that every name-based entry
-// point (ByName, sweep specs, CLI flags) can resolve it without
-// switch-casing strings. The name must be non-empty and unique;
-// MaxCores defaults to 64 when unset. Safe for concurrent use.
-func Register(p Params) error {
-	if p.Name == "" {
-		return fmt.Errorf("workload: Register needs a name")
-	}
-	if p.MaxCores <= 0 {
-		p.MaxCores = 64
-	}
-	regMu.Lock()
-	defer regMu.Unlock()
-	for _, w := range Builtin() {
-		if w.Name == p.Name {
-			return fmt.Errorf("workload: %q is already registered", p.Name)
-		}
-	}
-	for _, w := range registered {
-		if w.Name == p.Name {
-			return fmt.Errorf("workload: %q is already registered", p.Name)
-		}
-	}
-	registered = append(registered, p)
-	return nil
-}
-
-// All returns the evaluation suite in the paper's figure order, followed
-// by any Register-ed workloads in registration order.
-func All() []Params {
-	regMu.RLock()
-	defer regMu.RUnlock()
-	return append(Builtin(), registered...)
-}
-
-// ByName returns the workload with the given name.
-func ByName(name string) (Params, error) {
-	for _, w := range All() {
-		if w.Name == name {
-			return w, nil
-		}
-	}
-	return Params{}, fmt.Errorf("workload: unknown workload %q", name)
 }
 
 // CoreParams derives the cpu parameters this workload implies.

@@ -8,7 +8,7 @@ import (
 )
 
 func TestSuiteCompleteness(t *testing.T) {
-	all := All()
+	all := Builtin()
 	if len(all) != 6 {
 		t.Fatalf("suite has %d workloads, want 6", len(all))
 	}
@@ -47,16 +47,6 @@ func TestSuiteCompleteness(t *testing.T) {
 	}
 }
 
-func TestByName(t *testing.T) {
-	w, err := ByName("Web Search")
-	if err != nil || w.MaxCores != 16 {
-		t.Fatalf("ByName: %v %+v", err, w)
-	}
-	if _, err := ByName("nope"); err == nil {
-		t.Fatal("unknown name must error")
-	}
-}
-
 func TestGeneratorDeterminism(t *testing.T) {
 	a := NewGenerator(DataServing, 3, 42)
 	b := NewGenerator(DataServing, 3, 42)
@@ -79,7 +69,7 @@ func TestGeneratorDeterminism(t *testing.T) {
 }
 
 func TestInstructionAddressesStayInSharedFootprint(t *testing.T) {
-	for _, w := range All() {
+	for _, w := range Builtin() {
 		g := NewGenerator(w, 7, 1)
 		for i := 0; i < 20000; i++ {
 			in := g.Next()
@@ -197,7 +187,7 @@ func TestCoreParamsDerivation(t *testing.T) {
 func TestDataServingIsMostSerial(t *testing.T) {
 	// The paper singles out Data Serving for very low ILP and MLP; keep the
 	// calibration honoring that ordering.
-	for _, w := range All() {
+	for _, w := range Builtin() {
 		if w.Name == DataServing.Name {
 			continue
 		}

@@ -106,7 +106,7 @@ func BenchmarkKernelLowInjection(b *testing.B) {
 // routers and banks sleep between bursts, so the scheduled kernel wins
 // even though the chip never fully quiesces.
 func BenchmarkKernelChip(b *testing.B) {
-	w, err := workload.ByName("Web Search")
+	w, err := workload.Parse("Web Search")
 	if err != nil {
 		b.Fatal(err)
 	}

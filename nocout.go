@@ -38,12 +38,27 @@
 // public RegisterDesign API that user organizations use, and every
 // registered design works in sweeps, CLI flags, and JSON reports. See
 // EXPERIMENTS.md's "writing a new Organization" walkthrough.
+//
+// Workload sources are pluggable the same way: a Workload is a
+// behavioral value (name and aliases, software scalability limit,
+// per-core pipeline parameters, per-core instruction streams, prewarm
+// layout) resolved through its own registry — ParseWorkload accepts any
+// registered name or alias, case-insensitively, plus the
+// "trace:<path>" scheme for recorded captures. The paper's six
+// synthetics are builtin; multiprogrammed mixes (NewMix, with a
+// per-member IPC breakdown in Result), deterministic phase schedules
+// (NewPhased), and whole-chip trace capture/replay (RecordWorkload,
+// nocout -record-trace) ride the same RegisterWorkload path as user
+// implementations. See EXPERIMENTS.md's "writing a custom Workload"
+// walkthrough.
 package nocout
 
 import (
 	"context"
 	"fmt"
 	"runtime"
+	"sort"
+	"strings"
 	"sync"
 
 	"nocout/internal/chip"
@@ -94,18 +109,13 @@ var (
 	Full  = Quality{Warmup: 30000, Window: 50000, Seeds: 3}
 )
 
-// Workloads returns the names of the paper's six scale-out workloads in
-// figure order, followed by any RegisterWorkload-ed additions. The
-// Figure* studies always sweep just the six (so registered workloads
-// never shift regenerated paper numbers); a default Experiment with no
+// Workloads returns the registered workload names: the paper's six
+// scale-out workloads in figure order, then the builtin Mix/Phased
+// examples, then RegisterWorkload-ed additions. The Figure* studies
+// always sweep just the six (so registered workloads never shift
+// regenerated paper numbers); a default Experiment with no
 // WithWorkloads sweeps this full list.
-func Workloads() []string {
-	var names []string
-	for _, w := range workload.All() {
-		names = append(names, w.Name)
-	}
-	return names
-}
+func Workloads() []string { return workload.Names() }
 
 // Result summarizes one measured run.
 type Result struct {
@@ -123,45 +133,67 @@ type Result struct {
 	L1DMPKI       float64 `json:"l1d_mpki"`
 
 	NoCPower physic.Power `json:"noc_power"`
+
+	// PerWorkloadIPC breaks AggIPC down by member workload when the
+	// source is heterogeneous (a Mix, or a capture of one); nil for
+	// homogeneous runs.
+	PerWorkloadIPC map[string]float64 `json:"per_workload_ipc,omitempty"`
 }
 
-// String formats the headline numbers.
+// String formats the headline numbers, with the per-member breakdown
+// appended for heterogeneous workloads.
 func (r Result) String() string {
-	return fmt.Sprintf("%v / %s: %d cores, IPC %.2f (%.3f/core), net latency %.1f cy, snoop %.2f%%, NoC %.2f W",
+	s := fmt.Sprintf("%v / %s: %d cores, IPC %.2f (%.3f/core), net latency %.1f cy, snoop %.2f%%, NoC %.2f W",
 		r.Design, r.Workload, r.ActiveCores, r.AggIPC, r.PerCoreIPC,
 		r.AvgNetLatency, r.SnoopRate*100, r.NoCPower.Total())
+	if len(r.PerWorkloadIPC) > 0 {
+		names := make([]string, 0, len(r.PerWorkloadIPC))
+		for name := range r.PerWorkloadIPC {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		parts := make([]string, len(names))
+		for i, name := range names {
+			parts[i] = fmt.Sprintf("%s %.2f", name, r.PerWorkloadIPC[name])
+		}
+		s += " [" + strings.Join(parts, ", ") + "]"
+	}
+	return s
 }
 
-// Run measures cfg under the named workload, averaging AggIPC over
-// q.Seeds independent runs.
+// Run measures cfg under the named workload — any registered name or
+// alias (case-insensitive), or a recorded capture via "trace:<path>" —
+// averaging over q.Seeds independent runs.
 func Run(cfg Config, workloadName string, q Quality) (Result, error) {
-	w, err := workload.ByName(workloadName)
+	w, err := workload.Parse(workloadName)
 	if err != nil {
 		return Result{}, err
 	}
-	return runW(cfg, w, q), nil
+	return RunWorkload(cfg, w, q), nil
 }
 
-// RunUnlimited is Run with the workload's software scalability cap lifted
-// to the chip's core count, for §7.1-style scaling studies that assume
-// software able to use every core.
+// RunUnlimited is Run with the workload's software scalability cap
+// lifted (the Unlimited wrapper), for §7.1-style scaling studies that
+// assume software able to use every core.
 func RunUnlimited(cfg Config, workloadName string, q Quality) (Result, error) {
-	w, err := workload.ByName(workloadName)
+	w, err := workload.Parse(workloadName)
 	if err != nil {
 		return Result{}, err
 	}
-	w.MaxCores = cfg.Cores
-	return runW(cfg, w, q), nil
+	return RunWorkload(cfg, workload.Unlimited(w), q), nil
 }
 
-// runW is the internal single-point entry used by Run/RunUnlimited.
-func runW(cfg Config, w workload.Params, q Quality) Result {
+// RunWorkload is Run for a Workload value that need not be registered —
+// a constructed Mix or Phased schedule, a loaded Capture, or any user
+// implementation.
+func RunWorkload(cfg Config, w Workload, q Quality) Result {
 	return runSeeds(context.Background(), cfg, w, q)
 }
 
 // seedRun holds one seed's measurements.
 type seedRun struct {
 	agg, lat, snoop, miss, impki, dmpki float64
+	members                             map[string]float64
 	res                                 Result
 }
 
@@ -178,7 +210,7 @@ var simSlots = make(chan struct{}, runtime.NumCPU())
 // and the averaging order is fixed, so the result is deterministic for
 // any scheduling. A cancelled ctx makes the result meaningless; callers
 // must check ctx.Err() and discard it.
-func runSeeds(ctx context.Context, cfg Config, w workload.Params, q Quality) Result {
+func runSeeds(ctx context.Context, cfg Config, w workload.Workload, q Quality) Result {
 	if q.Seeds < 1 {
 		q.Seeds = 1
 	}
@@ -211,10 +243,11 @@ func runSeeds(ctx context.Context, cfg Config, w workload.Params, q Quality) Res
 			o.miss = m.Dir.MissRate()
 			o.impki = m.L1IMPKI
 			o.dmpki = m.L1DMPKI
+			o.members = m.PerMemberIPC
 			if s == 0 {
 				o.res = Result{
 					Design:      cfg.Design,
-					Workload:    w.Name,
+					Workload:    w.Name(),
 					ActiveCores: m.ActiveCores,
 					NoCPower:    powerOf(c, scfg, int64(q.Window)),
 				}
@@ -243,6 +276,17 @@ func runSeeds(ctx context.Context, cfg Config, w workload.Params, q Quality) Res
 	res.LLCMissRate = miss / n
 	res.L1IMPKI = impki / n
 	res.L1DMPKI = dmpki / n
+	if outs[0].members != nil {
+		// Per-key accumulation follows seed order, so the average is
+		// deterministic for any map iteration order.
+		acc := make(map[string]float64, len(outs[0].members))
+		for s := range outs {
+			for name, ipc := range outs[s].members {
+				acc[name] += ipc / n
+			}
+		}
+		res.PerWorkloadIPC = acc
+	}
 	return res
 }
 

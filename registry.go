@@ -75,15 +75,100 @@ func ParseQuality(s string) (Quality, error) {
 	return Quality{}, fmt.Errorf("nocout: unknown quality %q (want quick | full)", s)
 }
 
-// Workload characterizes one scale-out workload; see the fields of
-// internal/workload.Params. Custom workloads are added with
-// RegisterWorkload and then usable anywhere a workload name is: Run,
-// WithWorkloads, and the commands' -workload flags.
-type Workload = workload.Params
+// Workload is the behavioral workload-source interface, mirroring
+// Organization for the scenario space: a self-describing value that
+// names itself (with CLI aliases), bounds its software scalability,
+// derives each core's pipeline parameters, produces each core's
+// instruction stream, and describes its prewarm address layout.
+// Implement it (or build one with SynthWorkload/NewMix/NewPhased/
+// RecordWorkload) and RegisterWorkload it; registered workloads work
+// everywhere a builtin does — Run, WithWorkloads sweeps, CLI flags, and
+// JSON reports.
+type Workload = workload.Workload
 
-// WorkloadByName resolves a workload, built-in or registered.
-func WorkloadByName(name string) (Workload, error) { return workload.ByName(name) }
+// WorkloadParams is the synthetic calibration block behind the paper's
+// six workloads (see internal/workload.Params for the knobs); wrap one
+// with SynthWorkload to obtain a Workload.
+type WorkloadParams = workload.Params
 
-// RegisterWorkload adds a custom workload to the suite. The name must be
-// non-empty and unique; MaxCores defaults to 64 when unset.
+// Mix is a multiprogrammed workload: each core runs one member, and
+// results carry a per-member IPC breakdown.
+type Mix = workload.Mix
+
+// Phased is a deterministic time-varying workload cycling through a
+// schedule of Phase stages.
+type Phased = workload.Phased
+
+// Phase is one stage of a Phased schedule: a calibration run for a set
+// number of dynamic instructions per core.
+type Phase = workload.Phase
+
+// Capture is a whole-chip workload recording; it replays as a Workload
+// and loads through the "trace:<path>" name scheme.
+type Capture = workload.Capture
+
+// RegisterWorkload adds a workload to the registry, after which every
+// name-based entry point (ParseWorkload, sweeps, CLI flags) resolves it.
+// Names and aliases must be unique case-insensitively.
 func RegisterWorkload(w Workload) error { return workload.Register(w) }
+
+// RegisteredWorkloads returns every registered workload in registration
+// order: the paper's six, the builtin Mix/Phased examples, then user
+// registrations.
+func RegisteredWorkloads() []Workload { return workload.All() }
+
+// ParseWorkload resolves a workload from any registered spelling —
+// names and aliases, case-insensitively (data-serving | websearch |
+// mix | phased | ...) — or loads a recorded capture via "trace:<path>".
+func ParseWorkload(s string) (Workload, error) { return workload.Parse(s) }
+
+// SynthWorkload wraps a synthetic calibration as a Workload with
+// optional extra CLI aliases.
+func SynthWorkload(p WorkloadParams, aliases ...string) Workload {
+	return workload.Synth(p, aliases...)
+}
+
+// BuiltinWorkloads returns the paper's six synthetic calibrations in
+// figure order — the raw material for composing mixes and phased
+// schedules.
+func BuiltinWorkloads() []WorkloadParams { return workload.Builtin() }
+
+// WorkloadParamsOf returns the synthetic calibration behind a
+// registered workload name or alias, for composing mixes and phased
+// schedules; non-synthetic workloads (mixes, captures) are an error.
+func WorkloadParamsOf(name string) (WorkloadParams, error) {
+	w, err := workload.Parse(name)
+	if err != nil {
+		return WorkloadParams{}, err
+	}
+	s, ok := w.(workload.Synthetic)
+	if !ok {
+		return WorkloadParams{}, fmt.Errorf("nocout: workload %q is not a synthetic calibration", name)
+	}
+	return s.P, nil
+}
+
+// NewMix builds a multiprogrammed workload with round-robin core
+// assignment over the members; see Mix.WithAssignment for explicit maps.
+func NewMix(name string, members ...WorkloadParams) *Mix { return workload.NewMix(name, members...) }
+
+// NewPhased builds a deterministic time-varying workload cycling
+// through the schedule.
+func NewPhased(name string, phases ...Phase) *Phased { return workload.NewPhased(name, phases...) }
+
+// UnlimitedWorkload lifts w's software scalability cap so a chip
+// enables every core (§7.1's assumption); everything else delegates.
+func UnlimitedWorkload(w Workload) Workload { return workload.Unlimited(w) }
+
+// RecordWorkload captures cores×perCore instructions from w at the
+// given seed; save the Capture and replay it anywhere a workload name
+// is accepted via "trace:<path>". For an exact reproduction of a run,
+// record at least (warmup+window)×3 instructions per core (the fetch
+// width bounds per-cycle consumption) at the run's seed.
+func RecordWorkload(w Workload, cores, perCore int, seed uint64) (*Capture, error) {
+	return workload.Record(w, cores, perCore, seed)
+}
+
+// LoadCapture reads a recorded workload capture from a NOC2 file, as
+// the "trace:<path>" scheme does.
+func LoadCapture(path string) (*Capture, error) { return workload.LoadCapture(path) }
