@@ -1,7 +1,7 @@
 // Command nocout runs one CMP configuration — or a sweep of interconnect
-// designs crossed with workloads — and prints the measured metrics, as
-// text or as a machine-readable Report (-json). It can also record a
-// workload capture for later "trace:<path>" replay.
+// designs crossed with workloads and memory hierarchies — and prints the
+// measured metrics, as text or as a machine-readable Report (-json). It
+// can also record a workload capture for later "trace:<path>" replay.
 //
 // Usage:
 //
@@ -9,6 +9,9 @@
 //	nocout -design mesh -cores 64 -linkbits 64 -workload data-serving
 //	nocout -designs mesh,torus,cmesh,crossbar -workload "MapReduce-C"
 //	nocout -design mesh -workloads websearch,mix,phased
+//	nocout -design mesh -hierarchies shared-nuca,xor,affine,private,clustered
+//	nocout -design mesh -hierarchy private -workload "Data Serving"
+//	nocout -design mesh -mem-lat 120 -mem-bw 6.4 -workload websearch
 //	nocout -workload websearch -cores 16 -record-trace ws.noctrace
 //	nocout -design mesh -cores 16 -workload trace:ws.noctrace
 //	nocout -cpuprofile cpu.pprof -quality full -workload "Data Serving"
@@ -20,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
 	"os/signal"
 	"runtime"
@@ -45,10 +49,15 @@ func run() error {
 	designs := flag.String("designs", "", "comma-separated design sweep, overrides -design (see -list)")
 	wl := flag.String("workload", "Web Search", "workload name, alias, or trace:<path> (see -list)")
 	workloads := flag.String("workloads", "", "comma-separated workload sweep, overrides -workload (see -list)")
-	list := flag.Bool("list", false, "list registered designs and workloads, then exit")
+	hier := flag.String("hierarchy", "", "memory hierarchy; empty keeps the SharedNUCA baseline (see -list)")
+	hiers := flag.String("hierarchies", "", "comma-separated hierarchy sweep, overrides -hierarchy (see -list)")
+	list := flag.Bool("list", false, "list registered designs, hierarchies, and workloads, then exit")
 	listWLs := flag.Bool("list-workloads", false, "list registered workloads with aliases, then exit")
+	listHiers := flag.Bool("list-hierarchies", false, "list registered memory hierarchies with aliases, then exit")
 	cores := flag.Int("cores", 64, "core count (power of two)")
 	linkBits := flag.Int("linkbits", 128, "NoC link width in bits")
+	memLat := flag.Int("mem-lat", 0, "memory device access latency in cycles (0 = DDR3-1667 default, 90)")
+	memBW := flag.Float64("mem-bw", 0, "per-channel memory bandwidth in GB/s (0 = DDR3-1667 default, 12.8)")
 	quality := flag.String("quality", "quick", "quick | full")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	jsonOut := flag.Bool("json", false, "emit the structured Report as JSON")
@@ -84,9 +93,9 @@ func run() error {
 		}()
 	}
 
-	if *list || *listWLs {
-		// Both namespaces come from the registries, so user registrations
-		// show up here with no CLI changes.
+	if *list || *listWLs || *listHiers {
+		// All three namespaces come from the registries, so user
+		// registrations show up here with no CLI changes.
 		if *list {
 			fmt.Println("designs:")
 			for _, d := range nocout.Designs() {
@@ -98,12 +107,25 @@ func run() error {
 				fmt.Printf("  %-22s aliases: %s\n", org.Name(), strings.Join(aliases, ", "))
 			}
 		}
-		fmt.Println("workloads:")
-		for _, w := range nocout.RegisteredWorkloads() {
-			aliases := append([]string{strings.ToLower(w.Name())}, w.Aliases()...)
-			fmt.Printf("  %-22s max cores: %-3d  aliases: %s\n", w.Name(), w.MaxCores(), strings.Join(aliases, ", "))
+		if *list || *listHiers {
+			fmt.Println("hierarchies:")
+			for _, id := range nocout.Hierarchies() {
+				h, err := nocout.HierarchyOf(id)
+				if err != nil {
+					return err
+				}
+				aliases := append([]string{strings.ToLower(h.Name())}, h.Aliases()...)
+				fmt.Printf("  %-22s aliases: %s\n", h.Name(), strings.Join(aliases, ", "))
+			}
 		}
-		fmt.Println("plus trace:<path> to replay a capture recorded with -record-trace")
+		if *list || *listWLs {
+			fmt.Println("workloads:")
+			for _, w := range nocout.RegisteredWorkloads() {
+				aliases := append([]string{strings.ToLower(w.Name())}, w.Aliases()...)
+				fmt.Printf("  %-22s max cores: %-3d  aliases: %s\n", w.Name(), w.MaxCores(), strings.Join(aliases, ", "))
+			}
+			fmt.Println("plus trace:<path> to replay a capture recorded with -record-trace")
+		}
 		return nil
 	}
 
@@ -149,6 +171,22 @@ func run() error {
 		}
 		ds = append(ds, d)
 	}
+	// Unknown hierarchy names hard-error here, exactly like unknown
+	// designs; an empty -hierarchy keeps each variant's own default.
+	var hnames []string
+	if *hiers != "" {
+		hnames = strings.Split(*hiers, ",")
+	} else if *hier != "" {
+		hnames = []string{*hier}
+	}
+	var hs []nocout.HierarchyID
+	for _, name := range hnames {
+		h, err := nocout.ParseHierarchy(name)
+		if err != nil {
+			return err
+		}
+		hs = append(hs, h)
+	}
 	q, err := nocout.ParseQuality(*quality)
 	if err != nil {
 		return err
@@ -163,12 +201,26 @@ func run() error {
 		nocout.WithWorkloadValues(ws...),
 		nocout.WithQuality(q),
 	}
+	if len(hs) > 0 {
+		opts = append(opts, nocout.WithHierarchies(hs...))
+	}
 	cfgs := make([]nocout.Config, len(ds))
 	for i, d := range ds {
 		cfg := nocout.DefaultConfig(d)
 		cfg.Cores = *cores
 		cfg.LinkBits = *linkBits
 		cfg.Seed = *seed
+		if *memLat > 0 {
+			cfg.Mem.AccessLat = nocout.Cycle(*memLat)
+		}
+		if *memBW > 0 {
+			// 64B per line at the 2 GHz core clock: cycles = 128 / (GB/s).
+			period := int(math.Round(128 / *memBW))
+			if period < 1 {
+				period = 1
+			}
+			cfg.Mem.LinePeriod = nocout.Cycle(period)
+		}
 		cfgs[i] = cfg
 		opts = append(opts, nocout.WithVariant(d.String(), cfg))
 	}
@@ -184,7 +236,11 @@ func run() error {
 		return rep.WriteJSON(os.Stdout)
 	}
 
-	if len(ds)*len(ws) > 1 {
+	cells := len(ds) * len(ws)
+	if len(hs) > 1 {
+		cells *= len(hs)
+	}
+	if cells > 1 {
 		fmt.Println(rep.Table())
 	} else {
 		res := rep.MustGet(ds[0].String(), ws[0].Name(), 0)
@@ -195,11 +251,29 @@ func run() error {
 	for i, d := range ds {
 		if area := nocout.Area(cfgs[i]); area.Total() > 0 {
 			fmt.Printf("  %s NoC area: %v\n", d, area)
-			for _, w := range ws {
-				res := rep.MustGet(d.String(), w.Name(), 0)
-				fmt.Printf("  %s NoC power (%s): %v\n", d, w.Name(), res.NoCPower)
+			// The per-workload power lines address report cells by plain
+			// design name; a hierarchy sweep renames its variants
+			// "design/hierarchy", so the breakdown moves to the table.
+			if len(hs) <= 1 {
+				for _, w := range ws {
+					res := rep.MustGet(d.String(), w.Name(), 0)
+					fmt.Printf("  %s NoC power (%s): %v\n", d, w.Name(), res.NoCPower)
+				}
 			}
 		}
+	}
+	hlist := hs
+	if len(hlist) == 0 {
+		hlist = []nocout.HierarchyID{cfgs[0].Hierarchy}
+	}
+	for _, h := range hlist {
+		cfg := cfgs[0]
+		cfg.Hierarchy = h
+		hp, err := nocout.HierarchyPhysical(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %s LLC: %v\n", h, hp)
 	}
 	return nil
 }

@@ -273,10 +273,10 @@ func TestReportEncoders(t *testing.T) {
 	if len(lines) != 2 {
 		t.Fatalf("CSV = %d lines, want header + 1 row:\n%s", len(lines), cs.String())
 	}
-	if !strings.HasPrefix(lines[0], "variant,design,workload,cores") {
+	if !strings.HasPrefix(lines[0], "variant,design,hierarchy,workload,cores") {
 		t.Fatalf("CSV header = %q", lines[0])
 	}
-	if !strings.Contains(lines[1], "NOC-Out,Web Search,64") {
+	if !strings.Contains(lines[1], "NOC-Out,SharedNUCA,Web Search,64") {
 		t.Fatalf("CSV row = %q", lines[1])
 	}
 

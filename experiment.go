@@ -29,6 +29,9 @@ type Point struct {
 	Variant  string `json:"variant"`
 	Design   Design `json:"design"`
 	Workload string `json:"workload"`
+	// Hierarchy is the point's memory hierarchy (omitted for the
+	// SharedNUCA baseline, so pre-hierarchy reports round-trip).
+	Hierarchy HierarchyID `json:"hierarchy,omitempty"`
 	// Cores is the requested core count; 0 means the variant's own (the
 	// resolved value is Config.Cores).
 	Cores int    `json:"requested_cores,omitempty"`
@@ -42,7 +45,7 @@ type Point struct {
 
 // Key identifies the point within its sweep; expansion dedups on it.
 func (p Point) Key() string {
-	return fmt.Sprintf("%s|%s|%d", p.Variant, p.Workload, p.Cores)
+	return fmt.Sprintf("%s|%s|%d|%d", p.Variant, p.Workload, p.Cores, p.Hierarchy)
 }
 
 // String describes the point for progress displays.
@@ -77,6 +80,7 @@ type Experiment struct {
 	workloads    []string
 	workloadVals []workload.Workload
 	coreCounts   []int
+	hierarchies  []HierarchyID
 	quality      Quality
 	seed         *uint64
 	unlimited    bool
@@ -140,6 +144,17 @@ func WithCoreCounts(ns ...int) Option {
 	return func(e *Experiment) { e.coreCounts = append(e.coreCounts, ns...) }
 }
 
+// WithHierarchies crosses the sweep with memory hierarchies: every
+// variant runs once per hierarchy, with the hierarchy's DefaultConfig
+// tuning applied on top of the variant's. With more than one hierarchy
+// the variant names gain a "/<hierarchy>" suffix so report cells stay
+// addressable; a single hierarchy rewrites the variants in place.
+// Default: each variant's own configured hierarchy (SharedNUCA unless the
+// variant's Config says otherwise).
+func WithHierarchies(hs ...HierarchyID) Option {
+	return func(e *Experiment) { e.hierarchies = append(e.hierarchies, hs...) }
+}
+
 // WithQuality sets the simulation effort (default Quick).
 func WithQuality(q Quality) Option {
 	return func(e *Experiment) { e.quality = q }
@@ -171,6 +186,10 @@ func WithConfigure(f func(cfg *Config, p Point)) Option {
 func (e *Experiment) Sweep() (Sweep, error) {
 	if len(e.variants) == 0 {
 		return Sweep{}, fmt.Errorf("nocout: experiment has no variants; use WithDesigns or WithVariant")
+	}
+	variants, err := e.expandHierarchies()
+	if err != nil {
+		return Sweep{}, err
 	}
 	names := e.workloads
 	if len(names) == 0 && len(e.workloadVals) == 0 {
@@ -216,7 +235,7 @@ func (e *Experiment) Sweep() (Sweep, error) {
 
 	sw := Sweep{Title: e.title, Quality: e.quality}
 	seen := make(map[string]bool)
-	for _, v := range e.variants {
+	for _, v := range variants {
 		for _, w := range wls {
 			for _, n := range counts {
 				cfg := v.Config
@@ -241,6 +260,7 @@ func (e *Experiment) Sweep() (Sweep, error) {
 				}
 				p.Seed = cfg.Seed
 				p.Config = cfg
+				p.Hierarchy = cfg.Hierarchy
 				p.wl = wl
 				if seen[p.Key()] {
 					continue
@@ -251,6 +271,32 @@ func (e *Experiment) Sweep() (Sweep, error) {
 		}
 	}
 	return sw, nil
+}
+
+// expandHierarchies crosses the variant list with WithHierarchies'
+// hierarchy dimension (a no-op without one), resolving each hierarchy
+// through the registry so unknown handles fail before any simulation.
+func (e *Experiment) expandHierarchies() ([]Variant, error) {
+	if len(e.hierarchies) == 0 {
+		return e.variants, nil
+	}
+	out := make([]Variant, 0, len(e.variants)*len(e.hierarchies))
+	for _, v := range e.variants {
+		for _, h := range e.hierarchies {
+			hier, err := HierarchyOf(h)
+			if err != nil {
+				return nil, err
+			}
+			cfg := hier.DefaultConfig(v.Config)
+			cfg.Hierarchy = h
+			name := v.Name
+			if len(e.hierarchies) > 1 {
+				name = v.Name + "/" + hier.Name()
+			}
+			out = append(out, Variant{Name: name, Config: cfg})
+		}
+	}
+	return out, nil
 }
 
 // sameWorkload reports whether two equally-named workloads are the same

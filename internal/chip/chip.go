@@ -1,10 +1,12 @@
 // Package chip assembles complete CMPs: cores with L1s, a distributed
-// LLC with directory, memory channels, and an interchangeable interconnect
+// LLC with directory, memory channels, an interchangeable interconnect
 // organization resolved through the Organization registry (the paper's
 // mesh, flattened butterfly, NOC-Out, and ideal fabrics are builtin;
-// RegisterOrganization adds more). It also owns the measurement loop
-// (warm-up + measurement window) that stands in for the paper's SimFlex
-// sampling.
+// RegisterOrganization adds more), and an interchangeable memory
+// hierarchy resolved through the Hierarchy registry (the paper's shared
+// NUCA is builtin; RegisterHierarchy adds placement policies, private
+// slices, clustered LLCs). It also owns the measurement loop (warm-up +
+// measurement window) that stands in for the paper's SimFlex sampling.
 package chip
 
 import (
@@ -31,6 +33,17 @@ type Config struct {
 	BankLat     sim.Cycle `json:"bank_lat"` // LLC bank access pipeline
 	Seed        uint64    `json:"seed"`
 
+	// Hierarchy selects the memory hierarchy (LLC organization, home
+	// placement, channel mapping); the zero value is the paper's shared
+	// NUCA baseline. Resolve names with ParseHierarchy.
+	Hierarchy HierarchyID `json:"hierarchy,omitempty"`
+	// Mem is the memory-channel timing; zero fields take the DDR3-1667
+	// defaults (mem.DefaultConfig) via WithDefaults.
+	Mem mem.Config `json:"mem"`
+	// LLCClusterTiles sets the Clustered hierarchy's cluster size (tiles
+	// per LLC cluster); 0 means the hierarchy's default.
+	LLCClusterTiles int `json:"llc_cluster_tiles,omitempty"`
+
 	// NOCOut overrides the NOC-Out organization (concentration, express
 	// links, LLC rows, banks per tile); zero value uses the paper baseline.
 	NOCOut core.Config `json:"nocout_org"`
@@ -49,6 +62,7 @@ func Table1Config() Config {
 		MemChannels:     4,
 		BankLat:         4,
 		BanksPerLLCTile: 2,
+		Mem:             mem.DefaultConfig(),
 		Seed:            1,
 	}
 }
@@ -79,6 +93,10 @@ type Chip struct {
 
 	// Fabric is the organization's built interconnect and endpoint layout.
 	Fabric *Fabric
+	// Memory is the hierarchy's built memory-system layout: bank
+	// placement and the home/channel mapping functions the agents were
+	// wired with (the conformance suite probes it directly).
+	Memory *MemoryLayout
 	// Plan is the tiled floorplan when the organization has one.
 	Plan topo.Floorplan
 	// NocNet is set by the NOC-Out organization.
@@ -90,8 +108,9 @@ type Chip struct {
 
 // New builds a chip running workload w — any Workload implementation:
 // a registered synthetic, a replayed capture, a mix, a phased schedule.
-// The design's organization is resolved through the registry; an
-// unregistered design panics.
+// The design's organization and the memory hierarchy are resolved through
+// their registries; an unregistered design or hierarchy panics, as does a
+// hierarchy that cannot inhabit the organization's fabric.
 func New(cfg Config, w workload.Workload) *Chip {
 	if cfg.Cores < 1 {
 		panic("chip: need at least one core")
@@ -102,7 +121,12 @@ func New(cfg Config, w workload.Workload) *Chip {
 	if cfg.BanksPerLLCTile == 0 {
 		cfg.BanksPerLLCTile = 2
 	}
+	cfg.Mem = cfg.Mem.WithDefaults()
 	org, err := OrganizationOf(cfg.Design)
+	if err != nil {
+		panic(err)
+	}
+	hier, err := HierarchyOf(cfg.Hierarchy)
 	if err != nil {
 		panic(err)
 	}
@@ -112,7 +136,12 @@ func New(cfg Config, w workload.Workload) *Chip {
 	c.Net = fab.Net
 	c.Plan = fab.Plan
 	c.NocNet = fab.NocNet
-	c.buildAgents(fab)
+	ml, err := hier.Build(cfg, fab, w.Layout())
+	if err != nil {
+		panic(err)
+	}
+	c.Memory = ml
+	c.buildAgents(fab, ml)
 	c.buildCores(fab.CoreOrder)
 	c.register()
 	return c
@@ -123,52 +152,28 @@ func New(cfg Config, w workload.Workload) *Chip {
 func (c *Chip) ActiveCores() int { return c.active }
 
 // buildAgents attaches the protocol agents — LLC banks with directory
-// slices, memory controllers, and L1s — to the fabric's endpoint layout.
-func (c *Chip) buildAgents(fab *Fabric) {
+// slices, memory controllers, and L1s — to the endpoint placement the
+// hierarchy decided over the fabric. The chip is generic here: bank
+// count, bank/L1/memory configs, and the home and channel mappings all
+// come from the MemoryLayout.
+func (c *Chip) buildAgents(fab *Fabric, ml *MemoryLayout) {
 	cfg := c.Cfg
-	nBanks := fab.NumBanks
-	bankBytes := cfg.LLCMB << 20 / nBanks
-	ways := cfg.LLCWays
-	for bankBytes/64/ways < 1 || (bankBytes/64/ways)&(bankBytes/64/ways-1) != 0 {
-		ways /= 2 // tiny slices: shrink associativity to keep sets 2^k
-		if ways == 0 {
-			panic("chip: LLC slice too small")
-		}
-	}
-	bcfg := coherence.BankConfig{
-		SizeBytes: bankBytes, Ways: ways, AccessLat: cfg.BankLat,
-		LinkBits: cfg.LinkBits, NumCores: cfg.Cores, Interleave: nBanks,
-	}
 	mcNode := func(line uint64) (noc.NodeID, int) {
-		ch := channelOf(line, cfg.MemChannels)
+		ch := ml.ChannelOf(line)
 		return fab.MCNodes[ch], ch
 	}
-	for b := 0; b < nBanks; b++ {
-		c.Banks = append(c.Banks, coherence.NewBank(b, fab.BankNode(b), c.Net, bcfg, &c.pktID, mcNode, fab.CoreNode))
+	for b := 0; b < ml.NumBanks; b++ {
+		c.Banks = append(c.Banks, coherence.NewBank(b, ml.BankNode(b), c.Net, ml.BankConf(b), &c.pktID, mcNode, fab.CoreNode))
 	}
 	for ch := 0; ch < cfg.MemChannels; ch++ {
-		mc := mem.NewController(ch, fab.MCNodes[ch], c.Net, mem.DefaultConfig(), &c.pktID, fab.BankNode)
+		mc := mem.NewController(ch, fab.MCNodes[ch], c.Net, ml.MemConf, &c.pktID, ml.BankNode)
 		c.MCs = append(c.MCs, mc)
 	}
-	l1cfg := coherence.DefaultL1Config()
-	l1cfg.LinkBits = cfg.LinkBits
-	home := func(line uint64) (noc.NodeID, int) {
-		bank := int(line % uint64(nBanks))
-		return fab.BankNode(bank), bank
-	}
 	for i := 0; i < cfg.Cores; i++ {
-		l1 := coherence.NewL1(i, fab.CoreNode(i), c.Net, l1cfg, &c.pktID, home, fab.CoreNode)
+		l1 := coherence.NewL1(i, fab.CoreNode(i), c.Net, ml.L1Conf, &c.pktID, ml.Home, fab.CoreNode)
 		c.L1s = append(c.L1s, l1)
 	}
 	c.installDispatchers(fab.NumNodes)
-}
-
-// channelOf interleaves lines across memory channels with a folded hash so
-// that no address region (per-core local areas, instruction region) aliases
-// onto a single channel.
-func channelOf(line uint64, channels int) int {
-	h := line ^ line>>6 ^ line>>13 ^ line>>19 ^ line>>27
-	return int(h % uint64(channels))
 }
 
 // installDispatchers wires every network node's delivery callback to the
@@ -426,8 +431,10 @@ func (c *Chip) StateHash() uint64 {
 // LLC-resident, and each active core's local region is owned by its L1-D.
 func (c *Chip) PrewarmCaches() {
 	lay := c.Workload.Layout()
-	nBanks := len(c.Banks)
-	bankOf := func(line uint64) *coherence.Bank { return c.Banks[line%uint64(nBanks)] }
+	bankOf := func(line uint64) *coherence.Bank {
+		_, bank := c.Memory.Home(line)
+		return c.Banks[bank]
+	}
 
 	for _, r := range []workload.Region{lay.Instr, lay.Hot} {
 		for a := r.Base; a < r.Base+r.Size; a += 64 {

@@ -104,7 +104,9 @@ type Bank struct {
 	Stats DirStats
 }
 
-// BankConfig sizes an LLC bank.
+// BankConfig sizes an LLC bank. The bank no longer assumes a global
+// modulo interleave: the memory hierarchy that places it injects the
+// line-compaction parameters (Stride/Phase) to match its home mapping.
 type BankConfig struct {
 	SizeBytes int
 	Ways      int
@@ -115,6 +117,14 @@ type BankConfig struct {
 	// (bank = line mod Interleave). The bank strips those bits before set
 	// indexing so its full set count is usable. Default 1.
 	Interleave int
+	// Stride/Phase, when Stride is non-zero, override the Interleave
+	// derivation (stride = Interleave, phase = bankID mod Interleave): the
+	// bank owns exactly the lines with line mod Stride == Phase and
+	// compacts them by Stride before set indexing. Hierarchies whose home
+	// mapping is not an arithmetic progression (XOR-hashed, region-affine,
+	// private slices) set Stride 1 / Phase 0 so every line is accepted
+	// as-is and the hashed set index does the spreading.
+	Stride, Phase uint64
 }
 
 // NewBank builds an LLC bank/directory controller.
@@ -126,13 +136,21 @@ func NewBank(bankID int, node noc.NodeID, net noc.Network, cfg BankConfig, pktID
 	if cfg.Interleave < 1 {
 		cfg.Interleave = 1
 	}
+	stride, phase := cfg.Stride, cfg.Phase
+	if stride == 0 {
+		stride = uint64(cfg.Interleave)
+		phase = uint64(bankID % cfg.Interleave)
+	}
+	if phase >= stride {
+		panic(fmt.Sprintf("coherence: bank %d phase %d out of range for stride %d", bankID, phase, stride))
+	}
 	arr := cache.NewArray(cfg.SizeBytes, cfg.Ways)
 	arr.SetHash(true)
 	b := &Bank{
 		BankID:   bankID,
 		Node:     node,
-		stride:   uint64(cfg.Interleave),
-		phase:    uint64(bankID % cfg.Interleave),
+		stride:   stride,
+		phase:    phase,
 		net:      net,
 		linkBits: cfg.LinkBits,
 		pktID:    pktID,

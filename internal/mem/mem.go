@@ -13,20 +13,39 @@ import (
 	"nocout/internal/sim"
 )
 
-// Config describes one memory channel's timing.
+// Config describes one memory channel's timing. It is plumbed through
+// chip.Config (JSON key "mem") and the -mem-lat/-mem-bw CLI flags; zero
+// fields take the DDR3-1667 defaults via WithDefaults.
 type Config struct {
 	// AccessLat is the device latency from service start to data (cycles).
 	// ~45 ns at 2 GHz for DDR3-1667.
-	AccessLat sim.Cycle
+	AccessLat sim.Cycle `json:"access_lat,omitempty"`
 	// LinePeriod is the minimum spacing between line transfers on the
 	// channel (cycles): 64B at 12.8 GB/s and 2 GHz is 10 cycles.
-	LinePeriod sim.Cycle
-	LinkBits   int
+	LinePeriod sim.Cycle `json:"line_period,omitempty"`
+	LinkBits   int       `json:"link_bits,omitempty"`
 }
 
 // DefaultConfig returns DDR3-1667 timing at the 2 GHz core clock.
 func DefaultConfig() Config {
 	return Config{AccessLat: 90, LinePeriod: 10, LinkBits: 128}
+}
+
+// WithDefaults returns the config with every zero field replaced by its
+// DefaultConfig value, so partially specified configs (JSON files, CLI
+// flags, hand-built structs) stay valid.
+func (c Config) WithDefaults() Config {
+	d := DefaultConfig()
+	if c.AccessLat == 0 {
+		c.AccessLat = d.AccessLat
+	}
+	if c.LinePeriod == 0 {
+		c.LinePeriod = d.LinePeriod
+	}
+	if c.LinkBits == 0 {
+		c.LinkBits = d.LinkBits
+	}
+	return c
 }
 
 // Stats counts channel activity.

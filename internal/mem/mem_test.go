@@ -1,6 +1,7 @@
 package mem
 
 import (
+	"encoding/json"
 	"testing"
 
 	"nocout/internal/coherence"
@@ -147,4 +148,38 @@ func TestInvalidConfigPanics(t *testing.T) {
 	}()
 	var pktID uint64
 	NewController(0, 0, nil, Config{AccessLat: 0, LinePeriod: 0}, &pktID, nil)
+}
+
+func TestConfigWithDefaults(t *testing.T) {
+	if got := (Config{}).WithDefaults(); got != DefaultConfig() {
+		t.Fatalf("zero config should default fully: %+v", got)
+	}
+	partial := Config{AccessLat: 200}
+	got := partial.WithDefaults()
+	if got.AccessLat != 200 || got.LinePeriod != DefaultConfig().LinePeriod || got.LinkBits != DefaultConfig().LinkBits {
+		t.Fatalf("partial config should keep set fields and default the rest: %+v", got)
+	}
+	full := Config{AccessLat: 1, LinePeriod: 2, LinkBits: 3}
+	if full.WithDefaults() != full {
+		t.Fatal("fully specified config must pass through unchanged")
+	}
+}
+
+func TestConfigJSONRoundTrip(t *testing.T) {
+	c := Config{AccessLat: 120, LinePeriod: 20, LinkBits: 64}
+	b, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"access_lat":120,"line_period":20,"link_bits":64}`
+	if string(b) != want {
+		t.Fatalf("JSON = %s, want %s", b, want)
+	}
+	var back Config
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != c {
+		t.Fatalf("round-trip: %+v vs %+v", back, c)
+	}
 }

@@ -132,6 +132,27 @@ func CMeshArea(cores int, llcMB float64, linkBits int) Breakdown {
 	return RoutersArea(n.Routers, linkBits, FlipFlop)
 }
 
+// LLCPhysical models a memory hierarchy's on-die contribution: the LLC
+// storage array, the directory state tracking it, and their standby
+// leakage. Storage scales with capacity alone; directory area scales with
+// the line count times the sharer-vector width (one bit per core plus tag
+// and state overhead), so many-core chips pay for coherence in silicon
+// even when the capacity is fixed. Each bank adds a small fixed control
+// overhead, which is how bank-heavy hierarchies (private per-tile slices)
+// show their cost.
+func LLCPhysical(llcMB float64, banks, cores int) (storageMM2, dirMM2, leakageW float64) {
+	if llcMB <= 0 {
+		return 0, 0, 0
+	}
+	storageMM2 = llcMB * tech.CacheMM2PerMB
+	lines := llcMB * (1 << 20) / 64
+	dirBitsPerLine := float64(cores) + 16 // sharer vector + owner/state/tag overhead
+	dirMM2 = lines * dirBitsPerLine * tech.SRAMMM2PerBit
+	dirMM2 += float64(banks) * 0.02 // per-bank sequencer/pipeline control
+	leakageW = tech.LeakageWPerMM2 * (storageMM2 + dirMM2)
+	return storageMM2, dirMM2, leakageW
+}
+
 // CrossbarArea returns the NoC area of the central crossbar: one switch
 // whose matrix grows quadratically with the tile count (§2.2), plus the
 // die-spanning spokes to every tile.

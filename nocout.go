@@ -51,12 +51,25 @@
 // nocout -record-trace) ride the same RegisterWorkload path as user
 // implementations. See EXPERIMENTS.md's "writing a custom Workload"
 // walkthrough.
+//
+// The memory hierarchy is the third pluggable axis: a HierarchyID is a
+// handle into a registry of self-describing Hierarchy values that decide
+// LLC bank count and placement, the per-line home (directory) mapping,
+// the memory-channel mapping, and the bank/L1/memory configurations. The
+// paper's shared NUCA is builtin (and the default); XOR-hashed and
+// region-affine placement policies, private per-tile slices (PrivateLLC),
+// and clustered LLCs (Clustered) register through the same public
+// RegisterHierarchy API that user hierarchies use, and every registered
+// hierarchy works in WithHierarchies sweeps, CLI flags (-hierarchy,
+// -hierarchies), and JSON reports. See EXPERIMENTS.md's "writing a
+// custom Hierarchy" walkthrough.
 package nocout
 
 import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
@@ -119,7 +132,10 @@ func Workloads() []string { return workload.Names() }
 
 // Result summarizes one measured run.
 type Result struct {
-	Design      Design `json:"design"`
+	Design Design `json:"design"`
+	// Hierarchy names the memory hierarchy; it is omitted for the
+	// SharedNUCA baseline so pre-hierarchy reports stay byte-compatible.
+	Hierarchy   string `json:"hierarchy,omitempty"`
 	Workload    string `json:"workload"`
 	ActiveCores int    `json:"active_cores"`
 
@@ -197,6 +213,14 @@ type seedRun struct {
 	res                                 Result
 }
 
+// isRuntimeError reports whether a recovered panic value is a Go runtime
+// error (index out of range, nil dereference, ...) — an error by type,
+// but a programming bug by nature, so it must carry its stack.
+func isRuntimeError(r any) bool {
+	_, ok := r.(runtime.Error)
+	return ok
+}
+
 // simSlots bounds the number of chip simulations in flight across the
 // whole process: the Runner's worker pool and runSeeds' per-seed fan-out
 // both draw from it, so a Full-quality sweep (3 seeds/point) cannot
@@ -210,17 +234,45 @@ var simSlots = make(chan struct{}, runtime.NumCPU())
 // and the averaging order is fixed, so the result is deterministic for
 // any scheduling. A cancelled ctx makes the result meaningless; callers
 // must check ctx.Err() and discard it.
+//
+// Invalid configurations (an unregistered design, a hierarchy that
+// cannot inhabit the fabric) panic inside chip.New on a worker; the
+// first such panic is re-raised on the caller's goroutine, so it stays a
+// recoverable hard error — Runner.Run converts it into a returned error
+// — instead of killing the process from a goroutine nobody can recover.
 func runSeeds(ctx context.Context, cfg Config, w workload.Workload, q Quality) Result {
 	if q.Seeds < 1 {
 		q.Seeds = 1
 	}
 	base := cfg.Seed
 	outs := make([]seedRun, q.Seeds)
+	var (
+		panicMu  sync.Mutex
+		panicked any
+	)
 	var wg sync.WaitGroup
 	for s := 0; s < q.Seeds; s++ {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
+			defer func() {
+				r := recover()
+				if r == nil {
+					return
+				}
+				// Deliberate hard errors (chip.New panicking an error
+				// value) re-raise clean; anything else — runtime errors
+				// and other programming bugs — keeps the crash site,
+				// which the caller-side re-raise would otherwise lose.
+				if _, deliberate := r.(error); !deliberate || isRuntimeError(r) {
+					r = fmt.Errorf("%v\n\nworker goroutine stack:\n%s", r, debug.Stack())
+				}
+				panicMu.Lock()
+				if panicked == nil {
+					panicked = r
+				}
+				panicMu.Unlock()
+			}()
 			if ctx.Err() != nil {
 				return
 			}
@@ -251,10 +303,16 @@ func runSeeds(ctx context.Context, cfg Config, w workload.Workload, q Quality) R
 					ActiveCores: m.ActiveCores,
 					NoCPower:    powerOf(c, scfg, int64(q.Window)),
 				}
+				if cfg.Hierarchy != chip.SharedNUCA {
+					o.res.Hierarchy = cfg.Hierarchy.String()
+				}
 			}
 		}(s)
 	}
 	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
 
 	var agg, lat, snoop, miss, impki, dmpki float64
 	for s := range outs {
@@ -313,6 +371,18 @@ func AreaModel(cfg Config) (physic.Breakdown, physic.BufferKind, error) {
 	}
 	b, kind := org.AreaModel(cfg)
 	return b, kind, nil
+}
+
+// HierarchyPhysical returns the configuration's memory-hierarchy silicon
+// contribution — LLC storage and directory area plus standby leakage —
+// from its hierarchy's registered model. Unknown hierarchies are a hard
+// error, exactly as unknown designs are for AreaModel.
+func HierarchyPhysical(cfg Config) (HierPhysical, error) {
+	h, err := chip.HierarchyOf(cfg.Hierarchy)
+	if err != nil {
+		return HierPhysical{}, err
+	}
+	return h.Physical(cfg), nil
 }
 
 // Area returns the configuration's NoC area breakdown (Figure 8's model).

@@ -5,13 +5,17 @@ import (
 	"strings"
 
 	"nocout/internal/chip"
+	"nocout/internal/coherence"
+	"nocout/internal/mem"
 	"nocout/internal/physic"
+	"nocout/internal/sim"
 	"nocout/internal/workload"
 )
 
 // This file is the engine's name registry: every string a CLI flag or
-// config file can carry (designs, quality levels, workloads) resolves
-// here, so commands and examples never switch-case names themselves.
+// config file can carry (designs, quality levels, workloads, memory
+// hierarchies) resolves here, so commands and examples never switch-case
+// names themselves.
 
 // Organization is a self-describing interconnect organization: its figure
 // name and CLI aliases, Table 1-style default tuning, network construction
@@ -62,6 +66,104 @@ func OrganizationOf(d Design) (Organization, error) { return chip.OrganizationOf
 // shorthand: mesh | fbfly | flattened-butterfly | nocout | noc-out | ideal
 // | torus | cmesh | crossbar | xbar | ...
 func ParseDesign(s string) (Design, error) { return chip.ParseDesign(s) }
+
+// Hierarchy is a self-describing memory hierarchy: its display name and
+// CLI aliases, preferred chip tuning, memory-system construction (bank
+// count and placement, home and channel mappings, bank/L1/memory
+// configs), and physical contribution. Implement it and RegisterHierarchy
+// it to add a memory system to the design space; the XOR-placement,
+// region-affine, PrivateLLC, and Clustered hierarchies in hierarchies.go
+// are worked examples registered through this exact path.
+type Hierarchy = chip.Hierarchy
+
+// HierarchyID selects the memory hierarchy: a registry handle resolvable
+// with ParseHierarchy and extensible with RegisterHierarchy. The zero
+// value is the paper's SharedNUCA baseline.
+type HierarchyID = chip.HierarchyID
+
+// SharedNUCA is the paper's baseline hierarchy: a shared NUCA LLC with
+// line-modulo bank striping and hash-interleaved memory channels.
+const SharedNUCA = chip.SharedNUCA
+
+// MemoryLayout is the built memory system a Hierarchy's Build returns:
+// bank count and placement, per-agent configurations, and the home and
+// channel mapping functions the chip wires the protocol agents with.
+type MemoryLayout = chip.MemoryLayout
+
+// HierPhysical is a hierarchy's silicon contribution: LLC storage and
+// directory area plus standby leakage.
+type HierPhysical = chip.HierPhysical
+
+// BankConfig sizes one LLC bank (capacity, associativity, access
+// pipeline, line compaction); MemoryLayout.BankConf returns one per bank.
+type BankConfig = coherence.BankConfig
+
+// L1Config sizes the per-core L1 controllers.
+type L1Config = coherence.L1Config
+
+// DefaultL1Config returns the Table 1 core cache configuration.
+func DefaultL1Config() L1Config { return coherence.DefaultL1Config() }
+
+// MemConfig is one memory channel's timing (AccessLat, LinePeriod,
+// LinkBits); zero fields take DDR3-1667 defaults. It is chip.Config's
+// Mem field and the target of the -mem-lat/-mem-bw CLI flags.
+type MemConfig = mem.Config
+
+// Cycle is the simulation time unit (Quality windows, cache and memory
+// latencies are measured in it).
+type Cycle = sim.Cycle
+
+// DefaultMemConfig returns DDR3-1667 timing at the 2 GHz core clock.
+func DefaultMemConfig() MemConfig { return mem.DefaultConfig() }
+
+// RegisterHierarchy adds a memory hierarchy to the registry and returns
+// its HierarchyID handle, after which the hierarchy works everywhere a
+// builtin does: Run, WithHierarchies sweeps, ParseHierarchy (CLI flags),
+// HierarchyPhysical, and JSON report round-trips. Names and aliases must
+// be unique; safe for concurrent use.
+func RegisterHierarchy(h Hierarchy) (HierarchyID, error) { return chip.RegisterHierarchy(h) }
+
+// Hierarchies returns every registered hierarchy handle in registration
+// order: SharedNUCA first, then XOR-placement, region-affine, PrivateLLC,
+// Clustered, then user registrations.
+func Hierarchies() []HierarchyID {
+	n := len(chip.Hierarchies())
+	out := make([]HierarchyID, n)
+	for i := range out {
+		out[i] = HierarchyID(i)
+	}
+	return out
+}
+
+// HierarchyOf resolves a hierarchy handle to its registered hierarchy;
+// unknown hierarchies are a hard error.
+func HierarchyOf(id HierarchyID) (Hierarchy, error) { return chip.HierarchyOf(id) }
+
+// ParseHierarchy resolves a hierarchy from its display name or any
+// registered CLI shorthand, case-insensitively: shared-nuca | xor |
+// affine | private | clustered | ...
+func ParseHierarchy(s string) (HierarchyID, error) { return chip.ParseHierarchy(s) }
+
+// RegionOwner derives a line→owning-core classifier from a workload's
+// address layout, the building block of region-affine hierarchies; see
+// the affine and clustered hierarchies for worked uses.
+func RegionOwner(cores int, lay WorkloadLayout) func(line uint64) (owner int, ok bool) {
+	return chip.RegionOwner(cores, lay)
+}
+
+// ChannelHash is the builtin hierarchies' memory-channel interleave: a
+// folded hash so no address region aliases onto a single channel.
+func ChannelHash(line uint64, channels int) int { return chip.ChannelHash(line, channels) }
+
+// FitWays shrinks a requested associativity until capacityBytes yields a
+// power-of-two set count — the sizing rule every hierarchy applies to its
+// LLC slices.
+func FitWays(capacityBytes, ways int) (int, error) { return chip.FitWays(capacityBytes, ways) }
+
+// WorkloadLayout describes a workload's address space (shared instruction
+// and hot regions, per-core local regions); hierarchies receive one in
+// Build for region-affine placement.
+type WorkloadLayout = workload.Layout
 
 // ParseQuality resolves a simulation effort level by name:
 // quick | full.

@@ -61,7 +61,7 @@ func (r *Report) WriteJSON(w io.Writer) error {
 
 // csvHeader is the flat per-point schema WriteCSV emits.
 var csvHeader = []string{
-	"variant", "design", "workload", "cores", "link_bits", "seed",
+	"variant", "design", "hierarchy", "workload", "cores", "link_bits", "seed",
 	"active_cores", "agg_ipc", "per_core_ipc", "avg_net_latency_cy",
 	"snoop_rate", "llc_miss_rate", "l1i_mpki", "l1d_mpki", "noc_power_w",
 }
@@ -76,7 +76,7 @@ func (r *Report) WriteCSV(w io.Writer) error {
 	for _, pr := range r.Results {
 		p, res := pr.Point, pr.Result
 		row := []string{
-			p.Variant, p.Design.String(), p.Workload,
+			p.Variant, p.Design.String(), p.Hierarchy.String(), p.Workload,
 			strconv.Itoa(p.Config.Cores), strconv.Itoa(p.Config.LinkBits),
 			strconv.FormatUint(p.Seed, 10),
 			strconv.Itoa(res.ActiveCores), f(res.AggIPC), f(res.PerCoreIPC),

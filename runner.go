@@ -2,6 +2,7 @@ package nocout
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 )
@@ -22,7 +23,10 @@ type Runner struct {
 
 // Run measures every point of the sweep and returns the Report, with
 // results in sweep order regardless of scheduling. It stops early and
-// returns ctx.Err() when the context is cancelled mid-sweep.
+// returns ctx.Err() when the context is cancelled mid-sweep, and returns
+// an error naming the first failing point when a point's configuration
+// cannot build (an unregistered design, a hierarchy that cannot inhabit
+// the fabric) instead of crashing the sweep.
 func (rn *Runner) Run(ctx context.Context, sw Sweep) (*Report, error) {
 	workers := rn.Workers
 	if workers <= 0 {
@@ -32,9 +36,16 @@ func (rn *Runner) Run(ctx context.Context, sw Sweep) (*Report, error) {
 		workers = sw.Len()
 	}
 
+	// A failing point cancels the remaining work through runCtx; the
+	// outer ctx stays authoritative for caller cancellation.
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
 	results := make([]Result, sw.Len())
 	var progressMu sync.Mutex
 	done := 0
+	var errMu sync.Mutex
+	var runErr error
 	next := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -43,8 +54,17 @@ func (rn *Runner) Run(ctx context.Context, sw Sweep) (*Report, error) {
 			defer wg.Done()
 			for i := range next {
 				p := sw.Points[i]
-				r := runSeeds(ctx, p.Config, p.wl, sw.Quality)
-				if ctx.Err() != nil {
+				r, err := runPoint(runCtx, p, sw.Quality)
+				if err != nil {
+					errMu.Lock()
+					if runErr == nil {
+						runErr = err
+					}
+					errMu.Unlock()
+					cancel()
+					return
+				}
+				if runCtx.Err() != nil {
 					return
 				}
 				results[i] = r
@@ -64,12 +84,18 @@ feed:
 	for i := 0; i < sw.Len(); i++ {
 		select {
 		case next <- i:
-		case <-ctx.Done():
+		case <-runCtx.Done():
 			break feed
 		}
 	}
 	close(next)
 	wg.Wait()
+	errMu.Lock()
+	err := runErr
+	errMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -79,4 +105,16 @@ feed:
 		rep.Results[i] = PointResult{Point: p, Result: results[i]}
 	}
 	return rep, nil
+}
+
+// runPoint measures one sweep point, converting a configuration panic
+// (runSeeds re-raises the first worker panic on this goroutine) into an
+// error that names the point.
+func runPoint(ctx context.Context, p Point, q Quality) (res Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("nocout: point %s: %v", p, r)
+		}
+	}()
+	return runSeeds(ctx, p.Config, p.wl, q), nil
 }
