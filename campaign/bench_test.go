@@ -1,0 +1,97 @@
+package campaign_test
+
+import (
+	"context"
+	"testing"
+
+	"nocout"
+	"nocout/campaign"
+)
+
+// This file benchmarks the campaign layer against the plain Runner on one
+// small sweep: the cold pass measures the full store/lease/manifest
+// overhead on top of real simulations, and the cached pass measures the
+// skip path alone — the cost of *not* recomputing a point, which is what
+// a resumed thousand-point campaign mostly pays. CI archives the results
+// as BENCH_campaign.json through the same converter as the other BENCH_*
+// artifacts, so the subsystem's overhead and the cache-hit skip rate are
+// tracked PR over PR.
+
+// benchSweep is a 4-point Quick-quality sweep (two designs × two
+// workloads at 16 cores).
+func benchSweep(b *testing.B) nocout.Sweep {
+	b.Helper()
+	sw, err := nocout.NewExperiment(
+		nocout.WithTitle("campaign bench"),
+		nocout.WithDesigns(nocout.Mesh, nocout.Ideal),
+		nocout.WithWorkloads("SAT Solver", "Web Search"),
+		nocout.WithCoreCounts(16),
+		nocout.WithQuality(nocout.Quick),
+	).Sweep()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sw
+}
+
+// BenchmarkRunnerDirect is the baseline: the sweep through the plain
+// Runner, no cache, no leases, no campaign directory.
+func BenchmarkRunnerDirect(b *testing.B) {
+	sw := benchSweep(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := (&nocout.Runner{}).Run(context.Background(), sw); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*sw.Len()), "ns/point")
+}
+
+// BenchmarkCampaignCold measures a fresh campaign end to end — manifest
+// write, key hashing, leases, atomic result stores — on top of the same
+// simulations BenchmarkRunnerDirect runs; the ns/point delta is the
+// per-point campaign overhead.
+func BenchmarkCampaignCold(b *testing.B) {
+	sw := benchSweep(b)
+	var computed int
+	for i := 0; i < b.N; i++ {
+		c, err := campaign.Create(b.TempDir(), sw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		stats, err := c.Work(context.Background(), campaign.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		computed += stats.Computed
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*sw.Len()), "ns/point")
+	b.ReportMetric(float64(computed)/float64(b.N*sw.Len()), "computed-frac")
+}
+
+// BenchmarkCampaignCachedHit measures a fully cached re-run: every point
+// is served from the store, zero simulations execute, and ns/point is the
+// pure skip cost (key hash + entry decode).
+func BenchmarkCampaignCachedHit(b *testing.B) {
+	sw := benchSweep(b)
+	c, err := campaign.Create(b.TempDir(), sw)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := c.Work(context.Background(), campaign.Options{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var cached int
+	for i := 0; i < b.N; i++ {
+		stats, err := c.Work(context.Background(), campaign.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.Computed != 0 {
+			b.Fatalf("cached re-run computed %d points", stats.Computed)
+		}
+		cached += stats.Cached
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*sw.Len()), "ns/point")
+	b.ReportMetric(float64(cached)/float64(b.N*sw.Len()), "hit-rate")
+}

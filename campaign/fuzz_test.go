@@ -1,0 +1,116 @@
+package campaign_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"nocout"
+	"nocout/campaign"
+)
+
+// The fuzz targets hold the campaign file decoders to the no-panic,
+// no-unbounded-allocation contract on arbitrary bytes — campaign
+// directories are shared between processes and may be truncated by
+// crashes mid-write or edited by hand. `go test` runs the seed corpus on
+// every CI pass; `go test -fuzz FuzzReadManifest` (or FuzzReadEntry)
+// explores further.
+
+func fuzzKey(fill string) string {
+	return nocout.KeyVersion + "-" + strings.Repeat(fill, 64/len(fill))
+}
+
+func validManifestBytes(f *testing.F) []byte {
+	f.Helper()
+	cfg := nocout.DefaultConfig(nocout.Mesh)
+	cfg.Cores = 8
+	man := campaign.Manifest{
+		Version: campaign.ManifestVersion,
+		Title:   "fuzz",
+		Quality: tiny,
+		Points: []nocout.Point{
+			{Variant: "Mesh", Design: nocout.Mesh, Workload: "SAT Solver", Seed: 1, Config: cfg},
+			{Variant: "Mesh2", Design: nocout.Mesh, Workload: "Data Serving", Seed: 1, Config: cfg},
+		},
+		Keys: []string{fuzzKey("0"), fuzzKey("1")},
+	}
+	data, err := json.Marshal(man)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return data
+}
+
+func FuzzReadManifest(f *testing.F) {
+	valid := validManifestBytes(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])                                                // truncated mid-object
+	f.Add([]byte("{}"))                                                        // no version, no points
+	f.Add([]byte(`{"version":99,"points":[{}]}`))                              // future version
+	f.Add([]byte(`{"version":1,"points":[{}]}`))                               // point with no workload, no keys
+	f.Add([]byte("not json at all"))                                           //
+	f.Add(bytes.Replace(valid, []byte(fuzzKey("1")), []byte(fuzzKey("0")), 1)) // duplicate key
+	f.Add(bytes.Replace(valid, []byte(fuzzKey("1")), []byte("../../etc"), 1))  // path-hostile key
+	f.Fuzz(func(t *testing.T, data []byte) {
+		man, err := campaign.ReadManifest(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything that decodes must uphold the invariants the store and
+		// leaser trust: validated version, matched lists, unique
+		// path-safe keys, named workloads.
+		if man.Version != campaign.ManifestVersion {
+			t.Fatalf("decoded version %d", man.Version)
+		}
+		if len(man.Points) == 0 || len(man.Keys) != len(man.Points) {
+			t.Fatalf("decoded %d points with %d keys", len(man.Points), len(man.Keys))
+		}
+		seen := map[string]bool{}
+		for _, k := range man.Keys {
+			if !campaign.ValidKey(k) || seen[k] {
+				t.Fatalf("decoded invalid or duplicate key %q", k)
+			}
+			seen[k] = true
+		}
+		for i := range man.Points {
+			if man.Points[i].Workload == "" {
+				t.Fatalf("decoded point %d without a workload", i)
+			}
+		}
+	})
+}
+
+func FuzzReadEntry(f *testing.F) {
+	entry := campaign.Entry{
+		Version: campaign.EntryVersion,
+		Key:     fuzzKey("ab"),
+		Quality: tiny,
+		Result: nocout.PointResult{
+			Point:  nocout.Point{Variant: "Mesh", Workload: "SAT Solver"},
+			Result: nocout.Result{AggIPC: 4.5},
+		},
+	}
+	valid, err := json.Marshal(entry)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("{}"))
+	f.Add([]byte(`{"version":1,"key":"pt1-zz"}`))
+	f.Add([]byte(`{"version":2,"key":"` + fuzzKey("ab") + `"}`))
+	f.Add([]byte("garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := campaign.ReadEntry(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if e.Version != campaign.EntryVersion {
+			t.Fatalf("decoded version %d", e.Version)
+		}
+		if !campaign.ValidKey(e.Key) {
+			t.Fatalf("decoded invalid key %q", e.Key)
+		}
+	})
+}

@@ -1,0 +1,155 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"nocout"
+)
+
+// EntryVersion is the cache-entry schema version ReadEntry accepts.
+const EntryVersion = 1
+
+// maxEntryBytes caps one cache entry's decode (a PointResult encodes to
+// a few KB; the cap leaves room for large per-workload breakdowns).
+const maxEntryBytes = 16 << 20
+
+// Entry is one stored point result: the content key it is addressed by,
+// the quality it was measured at (provenance — the key already encodes
+// it), and the result itself, Err included for failed points.
+type Entry struct {
+	Version int                `json:"version"`
+	Key     string             `json:"key"`
+	Quality nocout.Quality     `json:"quality"`
+	Result  nocout.PointResult `json:"result"`
+}
+
+// ValidKey reports whether s is a well-formed point key of the current
+// schema: the KeyVersion prefix and 64 lowercase hex digits. Store and
+// lease filenames derive from keys, so this is also the path-safety
+// check.
+func ValidKey(s string) bool {
+	prefix := nocout.KeyVersion + "-"
+	if len(s) != len(prefix)+64 || !strings.HasPrefix(s, prefix) {
+		return false
+	}
+	for _, c := range s[len(prefix):] {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// ReadEntry decodes and validates one cache entry, holding the
+// no-unbounded-allocation contract on arbitrary input.
+func ReadEntry(r io.Reader) (Entry, error) {
+	data, err := io.ReadAll(io.LimitReader(r, maxEntryBytes+1))
+	if err != nil {
+		return Entry{}, err
+	}
+	if len(data) > maxEntryBytes {
+		return Entry{}, fmt.Errorf("campaign: cache entry exceeds the %dMB cap", maxEntryBytes>>20)
+	}
+	var e Entry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return Entry{}, fmt.Errorf("campaign: decoding cache entry: %w", err)
+	}
+	if e.Version != EntryVersion {
+		return Entry{}, fmt.Errorf("campaign: cache entry version %d, want %d", e.Version, EntryVersion)
+	}
+	if !ValidKey(e.Key) {
+		return Entry{}, fmt.Errorf("campaign: cache entry carries an invalid key %.80q", e.Key)
+	}
+	return e, nil
+}
+
+// Store is the content-addressed result store a campaign appends
+// completed points to: Get/Put by canonical point key. DirStore is the
+// local-directory backend; the interface (flat string keys, whole-entry
+// reads and writes, idempotent puts) is deliberately the S3 object-store
+// shape so a remote backend can slot in without touching the worker.
+type Store interface {
+	// Get returns the stored result for key; a miss — including an
+	// unreadable or corrupt entry, which a later Put self-heals — is
+	// (zero, false, nil). Errors are real I/O failures.
+	Get(key string) (nocout.PointResult, bool, error)
+	// Put stores the result under key, atomically and idempotently:
+	// points are deterministic, so concurrent writers of one key write
+	// identical content and any winner is correct.
+	Put(key string, pr nocout.PointResult, q nocout.Quality) error
+}
+
+// DirStore stores one JSON entry per point key in a flat directory,
+// written atomically (temp file + rename).
+type DirStore struct{ dir string }
+
+// NewDirStore returns the directory-backed store rooted at dir.
+func NewDirStore(dir string) *DirStore { return &DirStore{dir: dir} }
+
+// path maps a key to its entry file; keys are ValidKey-shaped (hex), so
+// the name is path-safe by construction.
+func (s *DirStore) path(key string) string { return filepath.Join(s.dir, key+".json") }
+
+// Get implements Store.
+func (s *DirStore) Get(key string) (nocout.PointResult, bool, error) {
+	if !ValidKey(key) {
+		return nocout.PointResult{}, false, fmt.Errorf("campaign: invalid point key %.80q", key)
+	}
+	f, err := os.Open(s.path(key))
+	if os.IsNotExist(err) {
+		return nocout.PointResult{}, false, nil
+	}
+	if err != nil {
+		return nocout.PointResult{}, false, err
+	}
+	defer f.Close()
+	e, err := ReadEntry(f)
+	if err != nil || e.Key != key {
+		// Corrupt or misplaced entry: treat as a miss so the point is
+		// recomputed and the next Put heals the file.
+		return nocout.PointResult{}, false, nil
+	}
+	return e.Result, true, nil
+}
+
+// Put implements Store.
+func (s *DirStore) Put(key string, pr nocout.PointResult, q nocout.Quality) error {
+	if !ValidKey(key) {
+		return fmt.Errorf("campaign: invalid point key %.80q", key)
+	}
+	data, err := json.MarshalIndent(Entry{Version: EntryVersion, Key: key, Quality: q, Result: pr}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(s.path(key), data)
+}
+
+// writeFileAtomic writes data to path via a same-directory temp file and
+// rename, so readers never observe a partial entry and concurrent
+// writers of identical content are safe.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return werr
+		}
+		return cerr
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

@@ -15,13 +15,24 @@
 //	nocout -workload websearch -cores 16 -record-trace ws.noctrace
 //	nocout -design mesh -cores 16 -workload trace:ws.noctrace
 //	nocout -cpuprofile cpu.pprof -quality full -workload "Data Serving"
+//	nocout -designs mesh,nocout -workloads websearch,mix -campaign camp/
+//	nocout -campaign camp/                    # resume / join as another worker
+//	nocout -campaign-merge camp/ -json        # assemble the final report
 //	nocout -list
+//
+// A -campaign run is resumable: every completed point is stored in the
+// campaign directory under its content key, so interrupting and
+// restarting (or pointing more worker processes at the same directory)
+// never recomputes finished work. See EXPERIMENTS.md, "Running a
+// resumable campaign".
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"log"
 	"math"
 	"os"
@@ -31,6 +42,7 @@ import (
 	"strings"
 
 	"nocout"
+	"nocout/campaign"
 )
 
 func main() {
@@ -63,6 +75,12 @@ func run() error {
 	jsonOut := flag.Bool("json", false, "emit the structured Report as JSON")
 	recordTrace := flag.String("record-trace", "", "record the workload to this capture file and exit (replay with -workload trace:<path>)")
 	recordInstrs := flag.Int("record-instrs", 96000, "instructions per core to record with -record-trace (96k covers a quick-quality run)")
+	campaignDir := flag.String("campaign", "", "run as a resumable campaign worker over this shared directory (created from the sweep flags; an existing campaign is resumed/joined as-is)")
+	campaignMerge := flag.String("campaign-merge", "", "assemble a campaign directory's stored results into the final report and exit")
+	campaignWorker := flag.String("campaign-worker", "", "lease owner identity for -campaign (default hostname-pid; must be unique per worker)")
+	leaseTTL := flag.Duration("lease-ttl", 0, "campaign lease lifetime before a crashed worker's points are stolen (default 10m)")
+	recompute := flag.Bool("recompute", false, "with -campaign, ignore cached results once and recompute them")
+	keepGoing := flag.Bool("keep-going", false, "record per-point errors in the report instead of aborting the sweep on the first failure")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (pprof evidence for perf PRs)")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -126,6 +144,24 @@ func run() error {
 			}
 			fmt.Println("plus trace:<path> to replay a capture recorded with -record-trace")
 		}
+		return nil
+	}
+
+	// Merging needs no simulation capability at all — only the campaign
+	// directory — so it runs before any workload or design resolution.
+	if *campaignMerge != "" {
+		c, err := campaign.Open(*campaignMerge)
+		if err != nil {
+			return err
+		}
+		rep, err := c.Merge()
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			return rep.WriteJSON(os.Stdout)
+		}
+		fmt.Println(rep.Table())
 		return nil
 	}
 
@@ -198,7 +234,10 @@ func run() error {
 	}
 	opts := []nocout.Option{
 		nocout.WithTitle(fmt.Sprintf("%s / %s", strings.Join(dnames, ","), strings.Join(wdisplay, ","))),
-		nocout.WithWorkloadValues(ws...),
+		// By name/spec, not by value: the sweep records trace:<path> specs
+		// on its points, so campaign workers in other processes rehydrate
+		// the same workload instead of a same-named registry entry.
+		nocout.WithWorkloads(wnames...),
 		nocout.WithQuality(q),
 	}
 	if len(hs) > 0 {
@@ -227,9 +266,34 @@ func run() error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	rep, err := nocout.NewExperiment(opts...).Run(ctx)
-	if err != nil {
-		return err
+	exp := nocout.NewExperiment(opts...)
+
+	if *campaignDir != "" {
+		return runCampaign(ctx, *campaignDir, exp, campaign.Options{
+			Owner:     *campaignWorker,
+			LeaseTTL:  *leaseTTL,
+			Recompute: *recompute,
+		}, *jsonOut)
+	}
+
+	var rep *nocout.Report
+	if *keepGoing {
+		// KeepGoing records a broken point's error in its report row and
+		// finishes the rest of the sweep instead of aborting.
+		sw, err := exp.Sweep()
+		if err != nil {
+			return err
+		}
+		rep, err = (&nocout.Runner{KeepGoing: true}).Run(ctx, sw)
+		if err != nil {
+			return err
+		}
+	} else {
+		var err error
+		rep, err = exp.Run(ctx)
+		if err != nil {
+			return err
+		}
 	}
 
 	if *jsonOut {
@@ -275,5 +339,44 @@ func run() error {
 		}
 		fmt.Printf("  %s LLC: %v\n", h, hp)
 	}
+	return nil
+}
+
+// runCampaign runs one campaign worker over dir and, once every point of
+// the manifest has a stored result, prints the merged report. A fresh
+// directory is created from the sweep the flags describe; an existing one
+// is resumed exactly as its manifest pins it (the sweep flags are
+// ignored), so joining as a second worker is just `nocout -campaign dir`.
+func runCampaign(ctx context.Context, dir string, exp *nocout.Experiment, opts campaign.Options, jsonOut bool) error {
+	c, err := campaign.Open(dir)
+	if errors.Is(err, fs.ErrNotExist) {
+		sw, serr := exp.Sweep()
+		if serr != nil {
+			return serr
+		}
+		c, err = campaign.Create(dir, sw)
+	}
+	if err != nil {
+		return err
+	}
+	// Progress and the worker summary go to stderr so -json keeps stdout
+	// as one clean Report document.
+	opts.Progress = func(done, total int, p nocout.Point, _ nocout.Result) {
+		fmt.Fprintf(os.Stderr, "nocout: campaign [%d/%d] %s\n", done, total, p)
+	}
+	stats, werr := c.Work(ctx, opts)
+	fmt.Fprintf(os.Stderr, "nocout: campaign %s: %d points: %d computed, %d cached, %d failed (%d passes)\n",
+		dir, stats.Points, stats.Computed, stats.Cached, stats.Failed, stats.Passes)
+	if werr != nil {
+		return fmt.Errorf("campaign interrupted (completed points are stored; resume with nocout -campaign %s): %w", dir, werr)
+	}
+	rep, err := c.Merge()
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		return rep.WriteJSON(os.Stdout)
+	}
+	fmt.Println(rep.Table())
 	return nil
 }

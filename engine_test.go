@@ -5,7 +5,10 @@ import (
 	"encoding/json"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
+
+	"nocout/internal/cpu"
 )
 
 func TestSweepExpansion(t *testing.T) {
@@ -203,6 +206,186 @@ func TestRunnerCancellation(t *testing.T) {
 	}}
 	if rep, err := rn.Run(ctx, sw); err != context.Canceled || rep != nil {
 		t.Fatalf("mid-sweep cancel = (%v, %v), want (nil, context.Canceled)", rep, err)
+	}
+}
+
+// brokenSweep returns a two-point sweep whose second point cannot build:
+// PrivateLLC needs a tiled organization and NOC-Out is not one, so
+// chip.New raises a deterministic configuration error.
+func brokenSweep(t *testing.T) Sweep {
+	t.Helper()
+	bad := DefaultConfig(NOCOut)
+	bad.Cores = 8
+	bad.Hierarchy = PrivateLLC
+	good := DefaultConfig(Mesh)
+	good.Cores = 8
+	sw, err := NewExperiment(
+		WithVariant("Good", good),
+		WithVariant("Bad", bad),
+		WithWorkloads("SAT Solver"),
+		WithQuality(tiny),
+	).Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Len() != 2 || sw.Points[1].Variant != "Bad" {
+		t.Fatalf("unexpected sweep: %+v", sw.Points)
+	}
+	return sw
+}
+
+// TestRunnerFailFastNamesPoint: the default contract — the first broken
+// point aborts the sweep, and the error (a chip.New panic recovered by
+// runPoint) names the point that raised it.
+func TestRunnerFailFastNamesPoint(t *testing.T) {
+	sw := brokenSweep(t)
+	rep, err := (&Runner{Workers: 1}).Run(context.Background(), sw)
+	if err == nil || rep != nil {
+		t.Fatalf("broken point must abort: (%v, %v)", rep, err)
+	}
+	if !strings.Contains(err.Error(), "Bad / SAT Solver") {
+		t.Fatalf("error must name the point: %v", err)
+	}
+	if !strings.Contains(err.Error(), "tiled organization") {
+		t.Fatalf("error must keep the cause: %v", err)
+	}
+}
+
+// TestRunnerKeepGoing: with KeepGoing the broken point lands in its
+// report row (PointResult.Err, surfaced in the CSV error column) and the
+// healthy point still measures.
+func TestRunnerKeepGoing(t *testing.T) {
+	sw := brokenSweep(t)
+	rep, err := (&Runner{Workers: 2, KeepGoing: true}).Run(context.Background(), sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, bad := rep.Results[0], rep.Results[1]
+	if good.Err != "" || good.Result.AggIPC <= 0 {
+		t.Fatalf("healthy point: %+v", good)
+	}
+	if bad.Err == "" || !strings.Contains(bad.Err, "tiled organization") {
+		t.Fatalf("broken point must carry its error: %+v", bad)
+	}
+	if bad.Result.AggIPC != 0 {
+		t.Fatalf("failed point must not carry a result: %+v", bad)
+	}
+
+	var cs strings.Builder
+	if err := rep.WriteCSV(&cs); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(cs.String()), "\n")
+	if !strings.HasSuffix(lines[0], ",error") {
+		t.Fatalf("CSV header must end with the error column: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "tiled organization") {
+		t.Fatalf("CSV row must carry the point error: %q", lines[2])
+	}
+}
+
+// recordingCache is a Cache fake that records Store calls.
+type recordingCache struct {
+	mu     sync.Mutex
+	stored []PointResult
+}
+
+func (c *recordingCache) Lookup(Point, Quality) (PointResult, bool, error) {
+	return PointResult{}, false, nil
+}
+
+func (c *recordingCache) Store(pr PointResult, _ Quality) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stored = append(c.stored, pr)
+	return nil
+}
+
+// cancelOnBuild fires cancel once from inside chip construction — after
+// runSeeds' last pre-simulation context check, so the simulation runs to
+// completion under an already-cancelled context.
+type cancelOnBuild struct {
+	Workload
+	once   *sync.Once
+	cancel context.CancelFunc
+}
+
+func (c cancelOnBuild) CoreParams(coreID int, seed uint64) cpu.Params {
+	c.once.Do(c.cancel)
+	return c.Workload.CoreParams(coreID, seed)
+}
+
+// TestRunnerCancelAfterComplete pins the silent-result-loss fix: a point
+// whose simulation completes after cancellation landed is still stored,
+// counted, and paid for — the run as a whole still reports ctx.Err().
+func TestRunnerCancelAfterComplete(t *testing.T) {
+	w, err := ParseWorkload("SAT Solver")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(Mesh)
+	cfg.Cores = 8
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sw := Sweep{Title: "cancel-after-complete", Quality: tiny, Points: []Point{{
+		Variant: "Mesh", Design: Mesh, Workload: w.Name(), Seed: cfg.Seed, Config: cfg,
+		wl: cancelOnBuild{Workload: w, once: &sync.Once{}, cancel: cancel},
+	}}}
+
+	cache := &recordingCache{}
+	progressed := 0
+	rep, err := (&Runner{Workers: 1, Cache: cache, Progress: func(done, total int, p Point, r Result) {
+		progressed++
+	}}).Run(ctx, sw)
+	if err != context.Canceled || rep != nil {
+		t.Fatalf("cancelled run = (%v, %v), want (nil, context.Canceled)", rep, err)
+	}
+	if len(cache.stored) != 1 {
+		t.Fatalf("completed simulation must be stored despite cancellation; stored %d", len(cache.stored))
+	}
+	if pr := cache.stored[0]; pr.Err != "" || pr.Result.AggIPC <= 0 {
+		t.Fatalf("stored result must be the real measurement: %+v", pr)
+	}
+	if progressed != 1 {
+		t.Fatalf("completed simulation must be counted; progress calls = %d", progressed)
+	}
+}
+
+// TestRunnerProgressMonotonic: under a wide pool the done counter is
+// strictly 1..N with no gaps or repeats (run with -race to check the
+// callback serialization too).
+func TestRunnerProgressMonotonic(t *testing.T) {
+	sw, err := NewExperiment(
+		WithDesigns(Ideal),
+		WithWorkloads("SAT Solver", "Data Serving", "MapReduce-C", "MapReduce-W"),
+		WithCoreCounts(8, 16),
+		WithQuality(tiny),
+	).Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seq []int
+	rep, err := (&Runner{Workers: 8, Progress: func(done, total int, p Point, r Result) {
+		if total != sw.Len() {
+			t.Errorf("total = %d, want %d", total, sw.Len())
+		}
+		seq = append(seq, done) // Progress calls are serialized; -race verifies
+	}}).Run(context.Background(), sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != sw.Len() {
+		t.Fatalf("progress calls = %d, want %d", len(seq), sw.Len())
+	}
+	for i, d := range seq {
+		if d != i+1 {
+			t.Fatalf("done sequence not strictly monotonic: %v", seq)
+		}
+	}
+	for _, pr := range rep.Results {
+		if pr.Result.AggIPC <= 0 {
+			t.Fatalf("missing result: %+v", pr.Point)
+		}
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"reflect"
+	"strings"
 
 	"nocout/internal/workload"
 )
@@ -39,12 +40,22 @@ type Point struct {
 	// Config is the resolved configuration the point runs; it is part of
 	// the JSON encoding so a report fully reproduces its runs.
 	Config Config `json:"config"`
+	// WorkloadSpec records the parse spec the workload came from when it
+	// is not just the name — today the "trace:<path>" capture scheme —
+	// so a campaign worker in another process can rehydrate the point.
+	WorkloadSpec string `json:"workload_spec,omitempty"`
+	// Unlimited records WithUnlimitedCores, so a rehydrated point
+	// re-applies the software-scalability cap lift (it changes behaviour,
+	// so it is part of the point's cache identity).
+	Unlimited bool `json:"unlimited,omitempty"`
 
 	wl workload.Workload
 }
 
-// Key identifies the point within its sweep; expansion dedups on it.
-func (p Point) Key() string {
+// dedupKey identifies the point within its sweep; expansion dedups on it.
+// The content-addressed identity the campaign cache uses is Point.Key
+// (identity.go), which hashes the full resolved configuration instead.
+func (p Point) dedupKey() string {
 	return fmt.Sprintf("%s|%s|%d|%d", p.Variant, p.Workload, p.Cores, p.Hierarchy)
 }
 
@@ -214,6 +225,10 @@ func (e *Experiment) Sweep() (Sweep, error) {
 		}
 		return nil
 	}
+	// specOf remembers the parse spec behind non-name workloads (trace
+	// captures), keyed by resolved name; points carry it so campaign
+	// workers in other processes can rehydrate them.
+	specOf := map[string]string{}
 	for _, n := range names {
 		w, err := workload.Parse(n)
 		if err != nil {
@@ -221,6 +236,9 @@ func (e *Experiment) Sweep() (Sweep, error) {
 		}
 		if err := add(w); err != nil {
 			return Sweep{}, err
+		}
+		if traceSpec(n) {
+			specOf[w.Name()] = strings.TrimSpace(n)
 		}
 	}
 	for _, w := range e.workloadVals {
@@ -261,11 +279,13 @@ func (e *Experiment) Sweep() (Sweep, error) {
 				p.Seed = cfg.Seed
 				p.Config = cfg
 				p.Hierarchy = cfg.Hierarchy
+				p.WorkloadSpec = specOf[w.Name()]
+				p.Unlimited = e.unlimited
 				p.wl = wl
-				if seen[p.Key()] {
+				if seen[p.dedupKey()] {
 					continue
 				}
-				seen[p.Key()] = true
+				seen[p.dedupKey()] = true
 				sw.Points = append(sw.Points, p)
 			}
 		}

@@ -1,0 +1,135 @@
+package nocout
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// goldenPoint is a fixed, fully resolved point; the golden key below pins
+// its Key bytes across releases.
+func goldenPoint() Point {
+	cfg := DefaultConfig(Mesh)
+	cfg.Cores = 8
+	cfg.Seed = 1
+	return Point{
+		Variant:  "Mesh",
+		Design:   Mesh,
+		Workload: "Web Search",
+		Cores:    8,
+		Seed:     1,
+		Config:   cfg,
+	}
+}
+
+// TestPointKeyGolden pins the key schema: campaign caches are addressed
+// by these strings, so any change to what Key covers or how it
+// canonicalizes MUST bump KeyVersion (never silently remap old caches) —
+// and then update this golden.
+func TestPointKeyGolden(t *testing.T) {
+	const golden = "pt1-97d73d43d2a9e220b183a284a259cf2f007050dbf15090687da1793a827221b0"
+	key, err := goldenPoint().Key(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != golden {
+		t.Fatalf("golden point key drifted:\n got  %s\n want %s\nif the key schema changed deliberately, bump KeyVersion and update this golden", key, golden)
+	}
+}
+
+// TestPointKeyRoundTrip checks the canonicalization guarantee: a Point
+// decoded from a report or campaign manifest keys identically to the
+// original, including uint64 seeds beyond float64 precision and
+// trace-backed workloads.
+func TestPointKeyRoundTrip(t *testing.T) {
+	p := goldenPoint()
+	p.Seed = 1<<63 + 3 // would corrupt through a float64 round trip
+	p.Config.Seed = p.Seed
+	orig, err := p.Key(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Point
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.wl != nil {
+		t.Fatal("a decoded point must rehydrate through the registry")
+	}
+	got, err := back.Key(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != orig {
+		t.Fatalf("key not JSON-round-trip stable:\n before %s\n after  %s", orig, got)
+	}
+}
+
+// TestPointKeySensitivity checks that every ingredient of a point's
+// identity changes the key — a cache hit must never alias a different
+// measurement.
+func TestPointKeySensitivity(t *testing.T) {
+	base := goldenPoint()
+	baseKey, err := base.Key(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(baseKey, KeyVersion+"-") || len(baseKey) != len(KeyVersion)+1+64 {
+		t.Fatalf("key shape: %q", baseKey)
+	}
+
+	mutations := map[string]func(*Point){
+		"seed":      func(p *Point) { p.Seed = 2; p.Config.Seed = 2 },
+		"cores":     func(p *Point) { p.Config.Cores = 16 },
+		"linkbits":  func(p *Point) { p.Config.LinkBits *= 2 },
+		"hierarchy": func(p *Point) { p.Hierarchy = 1; p.Config.Hierarchy = 1 },
+		"unlimited": func(p *Point) { p.Unlimited = true },
+		"workload":  func(p *Point) { p.Workload = "Data Serving" },
+		"mem":       func(p *Point) { p.Config.Mem.AccessLat += 30 },
+	}
+	for name, mutate := range mutations {
+		p := base
+		mutate(&p)
+		key, err := p.Key(tiny)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if key == baseKey {
+			t.Errorf("changing %s did not change the key", name)
+		}
+	}
+
+	q := tiny
+	q.Window *= 2
+	if key, err := base.Key(q); err != nil || key == baseKey {
+		t.Errorf("changing quality did not change the key (err %v)", err)
+	}
+
+	// The variant label is part of identity too (it names the report
+	// cell), but an identical point must key identically — no hidden
+	// nondeterminism.
+	again, err := goldenPoint().Key(tiny)
+	if err != nil || again != baseKey {
+		t.Fatalf("identical points key differently: %s vs %s (err %v)", again, baseKey, err)
+	}
+}
+
+// TestPointKeyErrors: a point whose workload this process cannot resolve
+// must refuse to produce a key rather than alias by name alone.
+func TestPointKeyErrors(t *testing.T) {
+	p := goldenPoint()
+	p.Workload = "No Such Workload"
+	if _, err := p.Key(tiny); err == nil {
+		t.Fatal("unknown workload must not key")
+	}
+	p = goldenPoint()
+	p.WorkloadSpec = "trace:/no/such/file.noctrace"
+	if _, err := p.Key(tiny); err == nil {
+		t.Fatal("unreadable trace spec must not key")
+	}
+}

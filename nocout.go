@@ -203,7 +203,8 @@ func RunUnlimited(cfg Config, workloadName string, q Quality) (Result, error) {
 // a constructed Mix or Phased schedule, a loaded Capture, or any user
 // implementation.
 func RunWorkload(cfg Config, w Workload, q Quality) Result {
-	return runSeeds(context.Background(), cfg, w, q)
+	res, _ := runSeeds(context.Background(), cfg, w, q)
+	return res
 }
 
 // seedRun holds one seed's measurements.
@@ -211,6 +212,10 @@ type seedRun struct {
 	agg, lat, snoop, miss, impki, dmpki float64
 	members                             map[string]float64
 	res                                 Result
+	// complete marks a seed whose simulation ran to the end; a seed that
+	// bailed on a cancelled context leaves it false, poisoning the
+	// average (the aggregate result is only valid when every seed ran).
+	complete bool
 }
 
 // isRuntimeError reports whether a recovered panic value is a Go runtime
@@ -232,15 +237,19 @@ var simSlots = make(chan struct{}, runtime.NumCPU())
 // simSlots) and averages them. Seed s always runs with base+s*7919
 // (derived from the configured base, not compounded across iterations),
 // and the averaging order is fixed, so the result is deterministic for
-// any scheduling. A cancelled ctx makes the result meaningless; callers
-// must check ctx.Err() and discard it.
+// any scheduling. The second return is the result's validity: true when
+// every seed's simulation ran to completion. Cancellation makes a seed
+// bail *before* its simulation starts — an in-flight simulation always
+// finishes — so a cancellation that lands after the last seed launched
+// still yields a complete, valid result; callers must discard the result
+// only when complete is false.
 //
 // Invalid configurations (an unregistered design, a hierarchy that
 // cannot inhabit the fabric) panic inside chip.New on a worker; the
 // first such panic is re-raised on the caller's goroutine, so it stays a
 // recoverable hard error — Runner.Run converts it into a returned error
 // — instead of killing the process from a goroutine nobody can recover.
-func runSeeds(ctx context.Context, cfg Config, w workload.Workload, q Quality) Result {
+func runSeeds(ctx context.Context, cfg Config, w workload.Workload, q Quality) (Result, bool) {
 	if q.Seeds < 1 {
 		q.Seeds = 1
 	}
@@ -307,6 +316,7 @@ func runSeeds(ctx context.Context, cfg Config, w workload.Workload, q Quality) R
 					o.res.Hierarchy = cfg.Hierarchy.String()
 				}
 			}
+			o.complete = true
 		}(s)
 	}
 	wg.Wait()
@@ -314,8 +324,10 @@ func runSeeds(ctx context.Context, cfg Config, w workload.Workload, q Quality) R
 		panic(panicked)
 	}
 
+	complete := true
 	var agg, lat, snoop, miss, impki, dmpki float64
 	for s := range outs {
+		complete = complete && outs[s].complete
 		agg += outs[s].agg
 		lat += outs[s].lat
 		snoop += outs[s].snoop
@@ -345,7 +357,7 @@ func runSeeds(ctx context.Context, cfg Config, w workload.Workload, q Quality) R
 		}
 		res.PerWorkloadIPC = acc
 	}
-	return res
+	return res, complete
 }
 
 // powerOf computes the run's NoC power with the design's area and buffer

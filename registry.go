@@ -262,6 +262,20 @@ func NewPhased(name string, phases ...Phase) *Phased { return workload.NewPhased
 // enables every core (§7.1's assumption); everything else delegates.
 func UnlimitedWorkload(w Workload) Workload { return workload.Unlimited(w) }
 
+// WorkloadFingerprinter is the optional interface a user Workload
+// implements to make itself cacheable: the returned bytes are folded
+// into Point.Key and must change whenever the workload's observable
+// behaviour (streams, core parameters, layout, scalability) changes.
+// The builtin families — synthetics, mixes, phased schedules, captures —
+// fingerprint structurally without it.
+type WorkloadFingerprinter = workload.Fingerprinter
+
+// FingerprintWorkload returns w's behavioral fingerprint — the workload
+// component of Point.Key, the canonical content hash the campaign result
+// cache is addressed by. Unknown implementations without
+// WorkloadFingerprinter are an error, not a silent name-only alias.
+func FingerprintWorkload(w Workload) ([]byte, error) { return workload.Fingerprint(w) }
+
 // RecordWorkload captures cores×perCore instructions from w at the
 // given seed; save the Capture and replay it anywhere a workload name
 // is accepted via "trace:<path>". For an exact reproduction of a run,

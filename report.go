@@ -13,6 +13,14 @@ import (
 type PointResult struct {
 	Point  Point  `json:"point"`
 	Result Result `json:"result"`
+	// Err records the point's failure when the Runner ran in KeepGoing
+	// mode (or the entry was merged from a campaign store); empty for a
+	// successful measurement. A failed point's Result is the zero value.
+	Err string `json:"error,omitempty"`
+	// Skipped marks a point this runner neither computed nor found
+	// cached — another campaign worker held its lease; the campaign
+	// merge step fills it in from the shared store.
+	Skipped bool `json:"skipped,omitempty"`
 }
 
 // Report holds a sweep's structured results, keyed by point and stored in
@@ -64,6 +72,7 @@ var csvHeader = []string{
 	"variant", "design", "hierarchy", "workload", "cores", "link_bits", "seed",
 	"active_cores", "agg_ipc", "per_core_ipc", "avg_net_latency_cy",
 	"snoop_rate", "llc_miss_rate", "l1i_mpki", "l1d_mpki", "noc_power_w",
+	"error",
 }
 
 // WriteCSV encodes the report as one CSV row per point.
@@ -82,6 +91,7 @@ func (r *Report) WriteCSV(w io.Writer) error {
 			strconv.Itoa(res.ActiveCores), f(res.AggIPC), f(res.PerCoreIPC),
 			f(res.AvgNetLatency), f(res.SnoopRate), f(res.LLCMissRate),
 			f(res.L1IMPKI), f(res.L1DMPKI), f(res.NoCPower.Total()),
+			pr.Err,
 		}
 		if err := cw.Write(row); err != nil {
 			return err
