@@ -1,0 +1,88 @@
+package campaign_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"nocout"
+	"nocout/campaign"
+)
+
+// TestCampaignOpenSystemRoundTrip: the opensys family survives the full
+// campaign lifecycle — create persists derived spec-named points to the
+// manifest, a worker process rehydrates them by name alone, results
+// (latency histograms included) store and merge bit-identically, and a
+// re-run is all cache hits.
+func TestCampaignOpenSystemRoundTrip(t *testing.T) {
+	sw, err := nocout.NewExperiment(
+		nocout.WithTitle("open-system campaign"),
+		nocout.WithDesigns(nocout.Mesh),
+		nocout.WithWorkloads("opensys:arrival=mmpp,base=data-serving"),
+		nocout.WithOfferedLoads(0.5, 4),
+		nocout.WithCoreCounts(8),
+		nocout.WithQuality(tiny),
+	).Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Len() != 2 {
+		t.Fatalf("sweep has %d points, want one per load", sw.Len())
+	}
+	for _, p := range sw.Points {
+		if !strings.HasPrefix(p.Workload, "opensys:") {
+			t.Fatalf("point workload %q is not a rehydratable spec", p.Workload)
+		}
+	}
+
+	single, err := (&nocout.Runner{}).Run(context.Background(), sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := reportJSON(t, single)
+
+	dir := t.TempDir()
+	if _, err := campaign.Create(dir, sw); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh handle works the manifest the way a separate worker process
+	// would: points rehydrate from their stored names, not live values.
+	c2, err := campaign.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := c2.Work(context.Background(), campaign.Options{Owner: "w0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Computed != sw.Len() {
+		t.Fatalf("worker computed %d of %d points", stats.Computed, sw.Len())
+	}
+	rep, err := c2.Merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pr := range rep.Results {
+		rl := pr.Result.ReqLatency
+		if rl == nil || rl.Hist == nil || rl.Hist.Count() != rl.Completed {
+			t.Fatalf("merged point %s lost its latency accounting: %+v", pr.Point, rl)
+		}
+	}
+	if got := reportJSON(t, rep); string(got) != string(want) {
+		t.Fatalf("campaign result diverged from direct run:\n%s\nvs\n%s", got, want)
+	}
+
+	// Re-running the campaign recomputes nothing: every point is a
+	// content-addressed cache hit.
+	again, err := campaign.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err = again.Work(context.Background(), campaign.Options{Owner: "w1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Computed != 0 || stats.Cached != sw.Len() {
+		t.Fatalf("re-run computed %d / cached %d, want all %d cached", stats.Computed, stats.Cached, sw.Len())
+	}
+}

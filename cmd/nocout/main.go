@@ -14,6 +14,9 @@
 //	nocout -design mesh -mem-lat 120 -mem-bw 6.4 -workload websearch
 //	nocout -workload websearch -cores 16 -record-trace ws.noctrace
 //	nocout -design mesh -cores 16 -workload trace:ws.noctrace
+//	nocout -design mesh -workload open-poisson -offered-loads 0.5,2,8
+//	nocout -designs mesh,nocout -workload websearch -arrival mmpp -offered-loads 0.5,2,8 -csv
+//	nocout -design nocout -workload "opensys:arrival=burst,hurst=0.9,base=data-serving,rate=4"
 //	nocout -cpuprofile cpu.pprof -quality full -workload "Data Serving"
 //	nocout -designs mesh,nocout -workloads websearch,mix -campaign camp/
 //	nocout -campaign camp/                    # resume / join as another worker
@@ -39,6 +42,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 
 	"nocout"
@@ -72,7 +76,10 @@ func run() error {
 	memBW := flag.Float64("mem-bw", 0, "per-channel memory bandwidth in GB/s (0 = DDR3-1667 default, 12.8)")
 	quality := flag.String("quality", "quick", "quick | full")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	arrival := flag.String("arrival", "", "wrap each workload as an open-system one: poisson | mmpp | burst, or opensys k=v params (e.g. \"arrival=mmpp,rate=4\")")
+	offeredLoads := flag.String("offered-loads", "", "comma-separated open-system arrival rates (requests per 1000 cycles per core) to sweep, e.g. 0.5,2,8")
 	jsonOut := flag.Bool("json", false, "emit the structured Report as JSON")
+	csvOut := flag.Bool("csv", false, "emit the structured Report as CSV")
 	recordTrace := flag.String("record-trace", "", "record the workload to this capture file and exit (replay with -workload trace:<path>)")
 	recordInstrs := flag.Int("record-instrs", 96000, "instructions per core to record with -record-trace (96k covers a quick-quality run)")
 	campaignDir := flag.String("campaign", "", "run as a resumable campaign worker over this shared directory (created from the sweep flags; an existing campaign is resumed/joined as-is)")
@@ -143,6 +150,10 @@ func run() error {
 				fmt.Printf("  %-22s max cores: %-3d  aliases: %s\n", w.Name(), w.MaxCores(), strings.Join(aliases, ", "))
 			}
 			fmt.Println("plus trace:<path> to replay a capture recorded with -record-trace")
+			fmt.Println("plus opensys:<k=v,...> for open-system traffic over any base workload")
+			fmt.Println("  keys: arrival=poisson|mmpp|burst, base, rate (req/kcycle/core), size (instrs),")
+			fmt.Println("        queue, ratio, dwell-hi, dwell-lo (mmpp), hurst, peak (burst),")
+			fmt.Println("        phases=MULTxCYCLES;..., skew=uniform|hotspot|transpose, grid, hot, hotfrac")
 		}
 		return nil
 	}
@@ -161,6 +172,9 @@ func run() error {
 		if *jsonOut {
 			return rep.WriteJSON(os.Stdout)
 		}
+		if *csvOut {
+			return rep.WriteCSV(os.Stdout)
+		}
 		fmt.Println(rep.Table())
 		return nil
 	}
@@ -168,6 +182,22 @@ func run() error {
 	wnames := []string{*wl}
 	if *workloads != "" {
 		wnames = strings.Split(*workloads, ",")
+	}
+	if *arrival != "" {
+		// -arrival wraps each named workload into an opensys: spec with
+		// that workload as the serving base. A bare process name becomes
+		// "arrival=<name>"; anything with '=' passes through as raw
+		// opensys parameters. Already-open specs are left alone.
+		params := *arrival
+		if !strings.Contains(params, "=") {
+			params = "arrival=" + params
+		}
+		for i, name := range wnames {
+			if strings.HasPrefix(strings.ToLower(strings.TrimSpace(name)), "opensys:") {
+				continue
+			}
+			wnames[i] = "opensys:" + params + ",base=" + strings.TrimSpace(name)
+		}
 	}
 	var ws []nocout.Workload
 	for _, name := range wnames {
@@ -227,6 +257,16 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	var loads []float64
+	if *offeredLoads != "" {
+		for _, s := range strings.Split(*offeredLoads, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				return fmt.Errorf("-offered-loads: %w", err)
+			}
+			loads = append(loads, v)
+		}
+	}
 
 	wdisplay := make([]string, len(ws))
 	for i, w := range ws {
@@ -242,6 +282,9 @@ func run() error {
 	}
 	if len(hs) > 0 {
 		opts = append(opts, nocout.WithHierarchies(hs...))
+	}
+	if len(loads) > 0 {
+		opts = append(opts, nocout.WithOfferedLoads(loads...))
 	}
 	cfgs := make([]nocout.Config, len(ds))
 	for i, d := range ds {
@@ -273,7 +316,7 @@ func run() error {
 			Owner:     *campaignWorker,
 			LeaseTTL:  *leaseTTL,
 			Recompute: *recompute,
-		}, *jsonOut)
+		}, *jsonOut, *csvOut)
 	}
 
 	var rep *nocout.Report
@@ -299,10 +342,18 @@ func run() error {
 	if *jsonOut {
 		return rep.WriteJSON(os.Stdout)
 	}
+	if *csvOut {
+		return rep.WriteCSV(os.Stdout)
+	}
 
 	cells := len(ds) * len(ws)
 	if len(hs) > 1 {
 		cells *= len(hs)
+	}
+	if len(loads) > 0 {
+		// A load sweep renames its cells by derived spec; the table is the
+		// only sensible text rendering.
+		cells *= len(loads)
 	}
 	if cells > 1 {
 		fmt.Println(rep.Table())
@@ -317,8 +368,9 @@ func run() error {
 			fmt.Printf("  %s NoC area: %v\n", d, area)
 			// The per-workload power lines address report cells by plain
 			// design name; a hierarchy sweep renames its variants
-			// "design/hierarchy", so the breakdown moves to the table.
-			if len(hs) <= 1 {
+			// "design/hierarchy" and a load sweep renames workloads by
+			// derived spec, so those breakdowns live in the table instead.
+			if len(hs) <= 1 && len(loads) == 0 {
 				for _, w := range ws {
 					res := rep.MustGet(d.String(), w.Name(), 0)
 					fmt.Printf("  %s NoC power (%s): %v\n", d, w.Name(), res.NoCPower)
@@ -347,7 +399,7 @@ func run() error {
 // directory is created from the sweep the flags describe; an existing one
 // is resumed exactly as its manifest pins it (the sweep flags are
 // ignored), so joining as a second worker is just `nocout -campaign dir`.
-func runCampaign(ctx context.Context, dir string, exp *nocout.Experiment, opts campaign.Options, jsonOut bool) error {
+func runCampaign(ctx context.Context, dir string, exp *nocout.Experiment, opts campaign.Options, jsonOut, csvOut bool) error {
 	c, err := campaign.Open(dir)
 	if errors.Is(err, fs.ErrNotExist) {
 		sw, serr := exp.Sweep()
@@ -376,6 +428,9 @@ func runCampaign(ctx context.Context, dir string, exp *nocout.Experiment, opts c
 	}
 	if jsonOut {
 		return rep.WriteJSON(os.Stdout)
+	}
+	if csvOut {
+		return rep.WriteCSV(os.Stdout)
 	}
 	fmt.Println(rep.Table())
 	return nil

@@ -3,6 +3,7 @@ package nocout
 import (
 	"context"
 	"fmt"
+	"math"
 	"reflect"
 	"strings"
 
@@ -92,6 +93,7 @@ type Experiment struct {
 	workloadVals []workload.Workload
 	coreCounts   []int
 	hierarchies  []HierarchyID
+	offeredLoads []float64
 	quality      Quality
 	seed         *uint64
 	unlimited    bool
@@ -147,6 +149,18 @@ func WithWorkloads(names ...string) Option {
 // named ones.
 func WithWorkloadValues(ws ...Workload) Option {
 	return func(e *Experiment) { e.workloadVals = append(e.workloadVals, ws...) }
+}
+
+// WithOfferedLoads crosses the sweep with open-system arrival rates
+// (requests per 1000 cycles per core): every workload in the sweep is
+// re-derived at each load through the RateScaled contract. Every
+// workload must therefore be open-system (the "opensys:" family or a
+// user RateScaled implementation) — mixing in a closed-loop workload is
+// a hard error at expansion, not a silently flat curve. Derived points
+// are named by their canonical spec, so the rate is part of the sweep
+// cell and of the campaign cache identity.
+func WithOfferedLoads(loads ...float64) Option {
+	return func(e *Experiment) { e.offeredLoads = append(e.offeredLoads, loads...) }
 }
 
 // WithCoreCounts crosses the sweep with chip core counts. Default: each
@@ -245,6 +259,22 @@ func (e *Experiment) Sweep() (Sweep, error) {
 		if err := add(w); err != nil {
 			return Sweep{}, err
 		}
+	}
+	if len(e.offeredLoads) > 0 {
+		expanded := make([]workload.Workload, 0, len(wls)*len(e.offeredLoads))
+		for _, w := range wls {
+			rs, ok := workload.RateScaledOf(w)
+			if !ok {
+				return Sweep{}, fmt.Errorf("nocout: WithOfferedLoads needs open-system workloads; %q is closed-loop (wrap it in an opensys: spec)", w.Name())
+			}
+			for _, load := range e.offeredLoads {
+				if load <= 0 || math.IsNaN(load) || math.IsInf(load, 0) {
+					return Sweep{}, fmt.Errorf("nocout: offered load %v must be a positive finite requests/kcycle", load)
+				}
+				expanded = append(expanded, rs.WithOfferedLoad(load))
+			}
+		}
+		wls = expanded
 	}
 	counts := e.coreCounts
 	if len(counts) == 0 {

@@ -104,6 +104,10 @@ type Chip struct {
 
 	active int
 	pktID  uint64
+
+	// trackers are the enabled cores' open-system streams, when the
+	// workload is an open one; empty for closed-loop workloads.
+	trackers []workload.OpenTracker
 }
 
 // New builds a chip running workload w — any Workload implementation:
@@ -214,6 +218,9 @@ func (c *Chip) buildCores(order []int) {
 		co := cpu.New(i, cp, c.L1s[i], stream)
 		co.SetEnabled(active[i])
 		c.Cores = append(c.Cores, co)
+		if t, ok := stream.(workload.OpenTracker); ok && active[i] {
+			c.trackers = append(c.trackers, t)
+		}
 	}
 }
 
@@ -262,6 +269,9 @@ func (c *Chip) Warmup(n sim.Cycle) {
 		mc.Stats = mem.Stats{}
 	}
 	*c.Net.Stats() = noc.Stats{}
+	for _, t := range c.trackers {
+		t.OpenReset()
+	}
 }
 
 // Run advances the measurement window by n cycles.
@@ -288,6 +298,10 @@ type Metrics struct {
 	// PerMemberIPC breaks AggIPC down by member workload when the source
 	// is heterogeneous (a Mix, or a capture of one); nil otherwise.
 	PerMemberIPC map[string]float64
+
+	// Open is the merged request-lifecycle accounting across enabled
+	// cores when the workload is open-system; nil for closed-loop runs.
+	Open *workload.OpenStats
 }
 
 // NetRouters returns the underlying routers of the chip's network (empty
@@ -333,6 +347,14 @@ func (c *Chip) Metrics() Metrics {
 	m.AvgNetLatency = m.Net.AvgLatencyAll()
 	m.AvgRespLatency = m.Net.AvgLatency(noc.ClassResp)
 	m.PerMemberIPC = c.perMemberIPC(cycles)
+	if len(c.trackers) > 0 {
+		open := workload.NewOpenStats()
+		for _, t := range c.trackers {
+			snap := t.OpenSnapshot()
+			open.Merge(&snap)
+		}
+		m.Open = open
+	}
 	return m
 }
 

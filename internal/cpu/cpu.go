@@ -30,6 +30,11 @@ const (
 	KindALU InstrKind = iota
 	KindLoad
 	KindStore
+	// KindIdle is an open-system stream's "no work pending" answer: fetch
+	// consumes nothing this cycle — no I-side access, no ROB entry, no
+	// committed instruction — and polls the stream again next cycle. Closed
+	// -loop streams never emit it, so their pipelines are untouched.
+	KindIdle
 )
 
 // Instr is one dynamic instruction from a workload stream.
@@ -42,6 +47,25 @@ type Instr struct {
 // Stream produces a core's dynamic instruction trace.
 type Stream interface {
 	Next() Instr
+}
+
+// TimedStream is a Stream that wants to know the current cycle when asked
+// for work — the contract open-system sources use to release requests on
+// their own arrival schedule (and answer KindIdle when none is due). A
+// core fetches via NextAt when its stream implements this; NextAt is
+// called at most once per pipeline slot and only on cycles fetch can make
+// progress, so implementations see a non-decreasing clock.
+type TimedStream interface {
+	Stream
+	NextAt(now sim.Cycle) Instr
+}
+
+// RetireObserver is a Stream that wants commit-time notification: the
+// core reports every batch of retired instructions with the cycle it
+// happened, which is how open-system sources timestamp request
+// completions exactly. Closed-loop streams simply don't implement it.
+type RetireObserver interface {
+	OnRetire(now sim.Cycle, n int)
 }
 
 // Params configures a core's pipeline.
@@ -101,6 +125,8 @@ type Core struct {
 
 	l1     L1Port
 	stream Stream
+	timed  TimedStream    // non-nil when stream wants the fetch-time clock
+	retire RetireObserver // non-nil when stream wants commit notifications
 	rng    *sim.RNG
 
 	rob      []robEntry
@@ -139,6 +165,12 @@ func New(id int, p Params, l1 L1Port, stream Stream) *Core {
 		rng:     sim.NewRNG(p.Seed ^ (uint64(id)+1)*0x9E3779B97F4A7C15),
 		rob:     make([]robEntry, p.ROB),
 		enabled: true,
+	}
+	if ts, ok := stream.(TimedStream); ok {
+		c.timed = ts
+	}
+	if ro, ok := stream.(RetireObserver); ok {
+		c.retire = ro
 	}
 	l1.SetFillListener(c.onFill)
 	return c
@@ -260,7 +292,7 @@ func (c *Core) Tick(now sim.Cycle) {
 	c.syncTo(now - 1)
 	c.lastSeen = now
 	c.Stats.Cycles++
-	committed := c.commit()
+	committed := c.commit(now)
 	c.fetch(now)
 	if committed == 0 {
 		c.accountStall()
@@ -268,7 +300,7 @@ func (c *Core) Tick(now sim.Cycle) {
 }
 
 // commit retires ready instructions in order, derated by BaseCPI.
-func (c *Core) commit() int {
+func (c *Core) commit(now sim.Cycle) int {
 	c.credit += 1.0 / c.params.BaseCPI
 	max := float64(c.params.Width)
 	if c.credit > max {
@@ -285,6 +317,9 @@ func (c *Core) commit() int {
 		c.credit--
 		c.Stats.Instrs++
 		n++
+	}
+	if n > 0 && c.retire != nil {
+		c.retire.OnRetire(now, n)
 	}
 	return n
 }
@@ -303,8 +338,14 @@ func (c *Core) fetch(now sim.Cycle) {
 		if c.retryInstr != nil {
 			in = *c.retryInstr
 			c.retryInstr = nil
+		} else if c.timed != nil {
+			in = c.timed.NextAt(now)
 		} else {
 			in = c.stream.Next()
+		}
+		if in.Kind == KindIdle {
+			// No work pending: consume nothing, poll again next cycle.
+			return
 		}
 		// Instruction-side access on line changes.
 		iline := cache.LineAddr(in.IAddr)

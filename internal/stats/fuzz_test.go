@@ -1,0 +1,71 @@
+package stats
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzLogHistJSON holds the histogram decoder to the no-panic,
+// no-unbounded-allocation contract on arbitrary bytes — latency
+// histograms travel inside campaign store entries and Report JSON that
+// other processes (and hand editors) produce. Anything that decodes must
+// uphold the invariants Merge and Quantile trust, and must re-encode to
+// bytes that decode to the identical histogram. `go test` runs the seed
+// corpus on every CI pass; `go test -fuzz FuzzLogHistJSON` explores
+// further.
+func FuzzLogHistJSON(f *testing.F) {
+	valid := &LogHist{}
+	for _, v := range []int64{0, 1, 15, 16, 500, 1 << 20} {
+		valid.Record(v)
+	}
+	seed, err := json.Marshal(valid)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2])                                     // truncated mid-object
+	f.Add([]byte(`{}`))                                           // all defaults
+	f.Add([]byte(`{"counts":[1],"n":1,"sum":0,"min":0,"max":0}`)) // minimal valid
+	f.Add([]byte(`{"counts":[1,0],"n":1,"sum":0}`))               // trailing zero
+	f.Add([]byte(`{"n":9223372036854775807,"sum":-1}`))           // extremes
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h := &LogHist{}
+		if err := json.Unmarshal(data, h); err != nil {
+			return
+		}
+		// Decoded histograms must be internally consistent...
+		var total int64
+		for _, c := range h.counts {
+			if c < 0 {
+				t.Fatalf("decoded negative bucket count: %+v", h)
+			}
+			total += c
+		}
+		if total != h.n {
+			t.Fatalf("decoded counts sum %d != n %d", total, h.n)
+		}
+		if len(h.counts) > logHistMaxBuckets {
+			t.Fatalf("decoded %d buckets, cap is %d", len(h.counts), logHistMaxBuckets)
+		}
+		if h.n > 0 && (h.min < 0 || h.max < h.min || h.Quantile(1) != h.max) {
+			t.Fatalf("decoded inconsistent min/max/quantile: %+v", h)
+		}
+		// ...safe to merge...
+		m := &LogHist{}
+		m.Record(3)
+		m.Merge(h)
+		if m.Count() != h.n+1 {
+			t.Fatalf("merge of decoded histogram lost samples")
+		}
+		// ...and canonical: re-encoding round-trips bit-stable.
+		out, err := json.Marshal(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		again := &LogHist{}
+		if err := json.Unmarshal(out, again); err != nil {
+			t.Fatalf("re-encoded histogram does not decode: %v (%s)", err, out)
+		}
+	})
+}

@@ -1,0 +1,253 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/bits"
+)
+
+// LogHist is a mergeable log-bucketed streaming histogram for
+// non-negative integer samples (request latencies in cycles). Values
+// below logHistLinear get exact unit buckets; beyond that each power-of-two
+// octave splits into logHistSub sub-buckets, bounding the relative
+// quantile error at 1/logHistSub (12.5%) while keeping the bucket count
+// small enough to ship inside every Result. Merging two histograms is
+// element-wise count addition, so it is associative and commutative —
+// per-core and per-seed histograms combine in any order without changing
+// the aggregate (the property tests pin this).
+//
+// The zero value is an empty histogram ready for use.
+type LogHist struct {
+	counts []int64
+	n      int64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+const (
+	logHistLinear = 16 // exact buckets for values 0..15
+	logHistSub    = 8  // sub-buckets per octave above the linear range
+
+	// logHistMaxBuckets caps the bucket array: the largest int64 sample
+	// lands in bucket 16 + (62-4)*8 + 7 = 487.
+	logHistMaxBuckets = 488
+)
+
+// logHistBucket maps a sample to its bucket index.
+func logHistBucket(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < logHistLinear {
+		return int(v)
+	}
+	top := bits.Len64(uint64(v)) - 1 // v in [2^top, 2^(top+1)), top >= 4
+	sub := int((v - int64(1)<<top) >> (top - 3))
+	return logHistLinear + (top-4)*logHistSub + sub
+}
+
+// logHistUpper returns the largest sample value bucket i holds; Quantile
+// reports these upper edges, so it never under-estimates.
+func logHistUpper(i int) int64 {
+	if i < logHistLinear {
+		return int64(i)
+	}
+	k := i - logHistLinear
+	top := 4 + k/logHistSub
+	sub := int64(k % logHistSub)
+	width := int64(1) << (top - 3)
+	return int64(1)<<top + sub*width + width - 1
+}
+
+// Record adds one sample (negative samples clamp to 0).
+func (h *LogHist) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	if h.n == 0 {
+		h.min, h.max = v, v
+	} else {
+		if v < h.min {
+			h.min = v
+		}
+		if v > h.max {
+			h.max = v
+		}
+	}
+	h.n++
+	h.sum += v
+	i := logHistBucket(v)
+	if i >= len(h.counts) {
+		grown := make([]int64, i+1)
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	h.counts[i]++
+}
+
+// Count returns the number of recorded samples.
+func (h *LogHist) Count() int64 { return h.n }
+
+// Sum returns the exact sum of recorded samples.
+func (h *LogHist) Sum() int64 { return h.sum }
+
+// Mean returns the exact sample mean (0 when empty).
+func (h *LogHist) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Min returns the smallest recorded sample (0 when empty).
+func (h *LogHist) Min() int64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest recorded sample (0 when empty).
+func (h *LogHist) Max() int64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile returns an upper bound on the p-quantile (p clamped to (0, 1]):
+// the upper edge of the bucket holding the ceil(p*n)-th smallest sample,
+// within 12.5% of the true value. Empty histograms report 0.
+func (h *LogHist) Quantile(p float64) int64 {
+	if h.n == 0 {
+		return 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	target := int64(float64(h.n) * p)
+	if float64(target) < float64(h.n)*p {
+		target++
+	}
+	if target < 1 {
+		target = 1
+	}
+	var acc int64
+	for i, c := range h.counts {
+		acc += c
+		if acc >= target {
+			u := logHistUpper(i)
+			if u > h.max {
+				u = h.max // exact tail: the top bucket cannot exceed the max sample
+			}
+			return u
+		}
+	}
+	return h.Max()
+}
+
+// Merge folds other into h: counts add element-wise, so merge order never
+// changes the aggregate. A nil or empty other is a no-op.
+func (h *LogHist) Merge(other *LogHist) {
+	if other == nil || other.n == 0 {
+		return
+	}
+	if h.n == 0 {
+		h.min, h.max = other.min, other.max
+	} else {
+		if other.min < h.min {
+			h.min = other.min
+		}
+		if other.max > h.max {
+			h.max = other.max
+		}
+	}
+	h.n += other.n
+	h.sum += other.sum
+	if len(other.counts) > len(h.counts) {
+		grown := make([]int64, len(other.counts))
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+}
+
+// Reset empties the histogram in place, keeping its bucket capacity.
+func (h *LogHist) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.counts = h.counts[:0]
+	h.n, h.sum, h.min, h.max = 0, 0, 0, 0
+}
+
+// logHistJSON is the wire form; counts carry no trailing zeros (the
+// in-memory invariant: the array ends at the max sample's bucket).
+type logHistJSON struct {
+	Counts []int64 `json:"counts,omitempty"`
+	N      int64   `json:"n"`
+	Sum    int64   `json:"sum"`
+	Min    int64   `json:"min"`
+	Max    int64   `json:"max"`
+}
+
+// MarshalJSON encodes the histogram.
+func (h LogHist) MarshalJSON() ([]byte, error) {
+	return json.Marshal(logHistJSON{Counts: h.counts, N: h.n, Sum: h.sum, Min: h.min, Max: h.max})
+}
+
+// UnmarshalJSON decodes a histogram, rejecting anything that violates the
+// invariants Record/Merge maintain: the bucket count is capped (no
+// attacker-sized allocations), counts are non-negative with no trailing
+// zeros, the total matches n, and min/max land in occupied buckets. A
+// decoded histogram is therefore always safe to Merge.
+func (h *LogHist) UnmarshalJSON(data []byte) error {
+	var w logHistJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	if len(w.Counts) > logHistMaxBuckets {
+		return fmt.Errorf("stats: histogram has %d buckets, max %d", len(w.Counts), logHistMaxBuckets)
+	}
+	var total int64
+	for i, c := range w.Counts {
+		if c < 0 {
+			return fmt.Errorf("stats: histogram bucket %d has negative count %d", i, c)
+		}
+		total += c
+		if total < 0 {
+			return fmt.Errorf("stats: histogram counts overflow")
+		}
+	}
+	if total != w.N {
+		return fmt.Errorf("stats: histogram counts sum to %d, n says %d", total, w.N)
+	}
+	if w.N == 0 {
+		if len(w.Counts) != 0 || w.Sum != 0 || w.Min != 0 || w.Max != 0 {
+			return fmt.Errorf("stats: empty histogram with non-zero fields")
+		}
+		*h = LogHist{}
+		return nil
+	}
+	if w.Min < 0 || w.Max < w.Min {
+		return fmt.Errorf("stats: histogram min/max %d/%d invalid", w.Min, w.Max)
+	}
+	if len(w.Counts) == 0 || w.Counts[len(w.Counts)-1] == 0 {
+		return fmt.Errorf("stats: histogram counts have a trailing zero")
+	}
+	if got := logHistBucket(w.Max); got != len(w.Counts)-1 {
+		return fmt.Errorf("stats: histogram max %d lands in bucket %d, counts end at %d", w.Max, got, len(w.Counts)-1)
+	}
+	if mb := logHistBucket(w.Min); w.Counts[mb] == 0 {
+		return fmt.Errorf("stats: histogram min %d lands in an empty bucket", w.Min)
+	}
+	if w.Sum < 0 {
+		return fmt.Errorf("stats: histogram sum negative")
+	}
+	h.counts = w.Counts
+	h.n, h.sum, h.min, h.max = w.N, w.Sum, w.Min, w.Max
+	return nil
+}

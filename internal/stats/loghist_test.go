@@ -1,0 +1,214 @@
+package stats
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// randomHist builds a histogram from n samples drawn by r, returning both
+// the histogram and the raw samples (for exact-quantile comparison).
+func randomHist(r *rand.Rand, n int) (*LogHist, []int64) {
+	h := &LogHist{}
+	samples := make([]int64, n)
+	for i := range samples {
+		// Mix magnitudes: exact-bucket range, mid octaves, and heavy tail.
+		var v int64
+		switch r.Intn(3) {
+		case 0:
+			v = r.Int63n(16)
+		case 1:
+			v = r.Int63n(1 << 14)
+		default:
+			v = r.Int63n(1 << 40)
+		}
+		samples[i] = v
+		h.Record(v)
+	}
+	return h, samples
+}
+
+// TestLogHistMergeCommutative: a⊕b == b⊕a, bucket for bucket.
+func TestLogHistMergeCommutative(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		a, _ := randomHist(r, r.Intn(200))
+		b, _ := randomHist(r, r.Intn(200))
+		ab := &LogHist{}
+		ab.Merge(a)
+		ab.Merge(b)
+		ba := &LogHist{}
+		ba.Merge(b)
+		ba.Merge(a)
+		if !reflect.DeepEqual(ab, ba) {
+			t.Fatalf("trial %d: merge not commutative:\na⊕b %+v\nb⊕a %+v", trial, ab, ba)
+		}
+	}
+}
+
+// TestLogHistMergeAssociative: (a⊕b)⊕c == a⊕(b⊕c).
+func TestLogHistMergeAssociative(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		a, _ := randomHist(r, r.Intn(100))
+		b, _ := randomHist(r, r.Intn(100))
+		c, _ := randomHist(r, r.Intn(100))
+		left := &LogHist{}
+		left.Merge(a)
+		left.Merge(b)
+		left.Merge(c)
+		right := &LogHist{}
+		bc := &LogHist{}
+		bc.Merge(b)
+		bc.Merge(c)
+		right.Merge(a)
+		right.Merge(bc)
+		if !reflect.DeepEqual(left, right) {
+			t.Fatalf("trial %d: merge not associative", trial)
+		}
+	}
+}
+
+// TestLogHistMergeEqualsDirect: merging per-shard histograms must equal
+// recording every sample into one histogram — the property that makes
+// per-core and per-seed aggregation exact.
+func TestLogHistMergeEqualsDirect(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	direct := &LogHist{}
+	merged := &LogHist{}
+	for shard := 0; shard < 8; shard++ {
+		h, samples := randomHist(r, 100+r.Intn(100))
+		for _, v := range samples {
+			direct.Record(v)
+		}
+		merged.Merge(h)
+	}
+	if !reflect.DeepEqual(direct, merged) {
+		t.Fatalf("shard merge diverged from direct recording:\n%+v\n%+v", direct, merged)
+	}
+}
+
+// TestLogHistQuantileBounds: Quantile(p) is an upper bound on the exact
+// sample quantile and within the 12.5% bucket-width guarantee.
+func TestLogHistQuantileBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		h, samples := randomHist(r, 500+r.Intn(500))
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		for _, p := range []float64{0.01, 0.5, 0.95, 0.99, 1.0} {
+			exact := samples[int(math.Ceil(p*float64(len(samples))))-1]
+			got := h.Quantile(p)
+			if got < exact {
+				t.Fatalf("trial %d p=%v: quantile %d under-estimates exact %d", trial, p, got, exact)
+			}
+			if float64(got) > float64(exact)*1.125+1 {
+				t.Fatalf("trial %d p=%v: quantile %d exceeds 12.5%% error vs exact %d", trial, p, got, exact)
+			}
+		}
+		if h.Quantile(1.0) != h.Max() {
+			t.Fatalf("trial %d: p=1 quantile %d != max %d", trial, h.Quantile(1.0), h.Max())
+		}
+	}
+}
+
+// TestLogHistExactSmallValues: the linear range is bucket-exact.
+func TestLogHistExactSmallValues(t *testing.T) {
+	h := &LogHist{}
+	for v := int64(0); v < 16; v++ {
+		h.Record(v)
+	}
+	for i := 1; i <= 16; i++ {
+		p := float64(i) / 16
+		if got, want := h.Quantile(p), int64(i-1); got != want {
+			t.Fatalf("Quantile(%v) = %d, want exact %d", p, got, want)
+		}
+	}
+}
+
+// TestLogHistBucketEdges pins the bucket map: indices are monotone, upper
+// edges invert the map, and extremes don't overflow.
+func TestLogHistBucketEdges(t *testing.T) {
+	prev := -1
+	for _, v := range []int64{0, 1, 15, 16, 17, 31, 32, 1023, 1024, 1 << 20, 1 << 40, math.MaxInt64} {
+		i := logHistBucket(v)
+		if i < prev {
+			t.Fatalf("bucket index not monotone at %d", v)
+		}
+		prev = i
+		if u := logHistUpper(i); u < v {
+			t.Fatalf("upper edge %d below member value %d", u, v)
+		}
+		if i >= logHistMaxBuckets {
+			t.Fatalf("bucket %d exceeds cap %d", i, logHistMaxBuckets)
+		}
+	}
+	if logHistBucket(-5) != 0 {
+		t.Fatal("negative samples must clamp to bucket 0")
+	}
+}
+
+// TestLogHistJSONRoundTrip: encode/decode reproduces the histogram
+// exactly (the Result JSON round-trip test relies on this).
+func TestLogHistJSONRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	hists := []*LogHist{{}}
+	for trial := 0; trial < 20; trial++ {
+		h, _ := randomHist(r, r.Intn(300))
+		hists = append(hists, h)
+	}
+	for i, h := range hists {
+		data, err := json.Marshal(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back := &LogHist{}
+		if err := json.Unmarshal(data, back); err != nil {
+			t.Fatalf("hist %d: %v (json %s)", i, err, data)
+		}
+		if !reflect.DeepEqual(h, back) {
+			t.Fatalf("hist %d did not survive JSON:\n%+v\n%+v\n%s", i, h, back, data)
+		}
+	}
+}
+
+// TestLogHistJSONRejectsCorrupt: the decoder refuses inputs violating the
+// recorded invariants.
+func TestLogHistJSONRejectsCorrupt(t *testing.T) {
+	for _, bad := range []string{
+		`{"counts":[1,0],"n":1,"sum":0,"min":0,"max":0}`, // trailing zero
+		`{"counts":[-1],"n":-1,"sum":0,"min":0,"max":0}`, // negative count
+		`{"counts":[2],"n":1,"sum":0,"min":0,"max":0}`,   // n mismatch
+		`{"counts":[1],"n":1,"sum":0,"min":5,"max":0}`,   // min > max
+		`{"counts":[1],"n":1,"sum":0,"min":0,"max":100}`, // max in wrong bucket
+		`{"counts":[],"n":5,"sum":0,"min":0,"max":0}`,    // n without counts
+		`{"counts":[1],"n":0,"sum":0,"min":0,"max":0}`,   // counts without n
+		`{"counts":[0,1],"n":1,"sum":3,"min":0,"max":1}`, // min in empty bucket
+		`{"counts":[1],"n":1,"sum":-2,"min":0,"max":0}`,  // negative sum
+	} {
+		h := &LogHist{}
+		if err := json.Unmarshal([]byte(bad), h); err == nil {
+			t.Errorf("decoder accepted corrupt input %s", bad)
+		}
+	}
+}
+
+// TestLogHistReset: a reset histogram records like a fresh one.
+func TestLogHistReset(t *testing.T) {
+	h := &LogHist{}
+	h.Record(100)
+	h.Record(7)
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatalf("reset left state behind: %+v", h)
+	}
+	h.Record(3)
+	fresh := &LogHist{}
+	fresh.Record(3)
+	if h.Count() != fresh.Count() || h.Quantile(1) != fresh.Quantile(1) ||
+		h.Min() != fresh.Min() || h.Max() != fresh.Max() {
+		t.Fatalf("reset histogram diverges from fresh: %+v vs %+v", h, fresh)
+	}
+}

@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"nocout/internal/stats"
+)
+
+// This file defines the open-system side of the workload API: the
+// contracts the chip uses to collect per-request latency accounting from
+// workloads whose cores are driven by arrival processes instead of
+// running closed-loop. The opensys package provides the implementations;
+// the chip and the experiment engine depend only on these interfaces.
+
+// OpenStats is one measurement window's request-lifecycle accounting from
+// an open-system stream (or the merged aggregate of many): arrival,
+// dispatch, completion, and drop counts, the queue-length integral
+// sampled at arrival instants (PASTA: Poisson arrivals see time
+// averages), and the completed-request latency histogram
+// (arrival→completion, in cycles).
+type OpenStats struct {
+	Arrivals   int64 // requests offered (dropped ones included)
+	Dispatched int64 // requests whose first instruction entered the pipeline
+	Completed  int64 // requests whose last instruction committed
+	Dropped    int64 // requests rejected by a full per-core queue
+	QueueSum   int64 // sum of pending-queue lengths sampled at each arrival
+	Hist       *stats.LogHist
+}
+
+// NewOpenStats returns an empty accumulator with an allocated histogram.
+func NewOpenStats() *OpenStats {
+	return &OpenStats{Hist: &stats.LogHist{}}
+}
+
+// Merge folds other into o (counts add, histograms merge), so per-core
+// and per-seed stats combine associatively and commutatively. A nil
+// other is a no-op.
+func (o *OpenStats) Merge(other *OpenStats) {
+	if other == nil {
+		return
+	}
+	o.Arrivals += other.Arrivals
+	o.Dispatched += other.Dispatched
+	o.Completed += other.Completed
+	o.Dropped += other.Dropped
+	o.QueueSum += other.QueueSum
+	if other.Hist != nil {
+		if o.Hist == nil {
+			o.Hist = &stats.LogHist{}
+		}
+		o.Hist.Merge(other.Hist)
+	}
+}
+
+// MeanQueueLen returns the mean pending-queue length seen by arrivals.
+func (o *OpenStats) MeanQueueLen() float64 {
+	if o.Arrivals == 0 {
+		return 0
+	}
+	return float64(o.QueueSum) / float64(o.Arrivals)
+}
+
+// OpenTracker is implemented by open-system streams. The chip collects
+// trackers from the streams it builds, resets them at the warm-up
+// boundary (in-flight requests keep their arrival timestamps — a request
+// spanning the boundary still measures its true latency), and snapshots
+// them into Metrics at the end of the window.
+type OpenTracker interface {
+	// OpenReset zeroes the measurement counters and histogram without
+	// disturbing in-flight request state (end of warm-up).
+	OpenReset()
+	// OpenSnapshot returns the accounting since the last reset. The
+	// histogram pointer references live state: callers must merge or copy,
+	// not retain it across further simulation.
+	OpenSnapshot() OpenStats
+}
+
+// RateScaled is implemented by open-system workloads whose offered load
+// is a tunable: WithOfferedLoads sweeps and StudySaturation derive one
+// instance per load through it. Rates are mean requests per 1000 cycles
+// per active core; derived instances must carry the rate in their Name
+// (and fingerprint) so sweep points and campaign cache keys stay
+// distinct and rehydratable by name.
+type RateScaled interface {
+	Workload
+	// OfferedLoad reports the configured mean arrival rate.
+	OfferedLoad() float64
+	// WithOfferedLoad returns a copy configured to rate; the receiver is
+	// untouched (registered instances are shared by worker pools).
+	WithOfferedLoad(rate float64) Workload
+}
+
+// RateScaledOf unwraps decorators (Unlimited) until it finds a
+// rate-scalable workload; ok is false for closed-loop sources.
+func RateScaledOf(w Workload) (RateScaled, bool) {
+	for {
+		if rs, ok := w.(RateScaled); ok {
+			return rs, true
+		}
+		u, ok := w.(interface{ Unwrap() Workload })
+		if !ok {
+			return nil, false
+		}
+		w = u.Unwrap()
+	}
+}

@@ -113,20 +113,71 @@ func Names() []string {
 // Parse resolves by loading the file: "trace:/path/to/ws.noctrace".
 const TraceScheme = "trace:"
 
+// Workload name schemes beyond the builtin "trace:": a scheme owns every
+// name spelled "<scheme>:<spec>" and parses the spec into a Workload.
+// The opensys package registers "opensys:" this way.
+var (
+	schemeMu sync.RWMutex
+	schemes  = map[string]func(spec string) (Workload, error){}
+)
+
+// RegisterScheme adds a workload name scheme: Parse hands every
+// "<name>:<spec>" string to fn (spec is the part after the colon,
+// untrimmed). The scheme name is case-insensitive, must be non-empty,
+// colon-free, and not already taken ("trace" is builtin). Parsed
+// workloads must Name() themselves back to a string the scheme resolves,
+// so sweep points and campaign manifests rehydrate by name alone.
+func RegisterScheme(name string, fn func(spec string) (Workload, error)) error {
+	key := strings.ToLower(strings.TrimSpace(name))
+	if key == "" || strings.Contains(key, ":") {
+		return fmt.Errorf("workload: invalid scheme name %q", name)
+	}
+	if key == "trace" {
+		return fmt.Errorf("workload: scheme %q is builtin", key)
+	}
+	if fn == nil {
+		return fmt.Errorf("workload: scheme %q needs a parse function", key)
+	}
+	schemeMu.Lock()
+	defer schemeMu.Unlock()
+	if _, dup := schemes[key]; dup {
+		return fmt.Errorf("workload: scheme %q already registered", key)
+	}
+	schemes[key] = fn
+	return nil
+}
+
+// MustRegisterScheme is RegisterScheme for init-time registrations.
+func MustRegisterScheme(name string, fn func(spec string) (Workload, error)) {
+	if err := RegisterScheme(name, fn); err != nil {
+		panic(err)
+	}
+}
+
 // Parse resolves a workload from any registered spelling — names and
 // aliases, case-insensitively ("data-serving", "websearch", "WEB Search")
-// — or loads a recorded capture via the "trace:<path>" scheme.
+// — loads a recorded capture via the "trace:<path>" scheme, or hands
+// "<scheme>:<spec>" names to their registered scheme (e.g.
+// "opensys:arrival=poisson,...").
 func Parse(s string) (Workload, error) {
 	trimmed := strings.TrimSpace(s)
 	if strings.HasPrefix(strings.ToLower(trimmed), TraceScheme) {
 		return LoadCapture(trimmed[len(TraceScheme):])
+	}
+	if i := strings.IndexByte(trimmed, ':'); i > 0 {
+		schemeMu.RLock()
+		fn := schemes[strings.ToLower(trimmed[:i])]
+		schemeMu.RUnlock()
+		if fn != nil {
+			return fn(trimmed[i+1:])
+		}
 	}
 	key := strings.ToLower(trimmed)
 	regMu.RLock()
 	w, ok := regKeys[key]
 	regMu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("workload: unknown workload %q (want %s, an alias, or trace:<path>)",
+		return nil, fmt.Errorf("workload: unknown workload %q (want %s, an alias, trace:<path>, or a registered scheme)",
 			s, strings.Join(Names(), " | "))
 	}
 	return w, nil

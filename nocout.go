@@ -52,6 +52,19 @@
 // implementations. See EXPERIMENTS.md's "writing a custom Workload"
 // walkthrough.
 //
+// Open-system traffic is the closed-loop model's complement: the
+// "opensys:" workload scheme (and the registered "Open Poisson", "Open
+// MMPP", "Open Burst" defaults) drives any registered base workload with
+// request-sized work units released by a seeded arrival process —
+// Poisson, a 2-state MMPP (rate ratio and dwell times), or a
+// self-similar Hurst-parameterized burst train — optionally shaped by a
+// diurnal phase schedule and a spatial skew (hotspot, transpose). Each
+// request is timestamped arrival→dispatch→completion, so open-loop
+// Results carry a ReqLatency block (p50/p95/p99, mean, drops, queue
+// length) beside the throughput numbers. WithOfferedLoads sweeps the
+// arrival rate and StudySaturation locates the p99 knee; see
+// EXPERIMENTS.md's "finding the saturation point" walkthrough.
+//
 // The memory hierarchy is the third pluggable axis: a HierarchyID is a
 // handle into a registry of self-describing Hierarchy values that decide
 // LLC bank count and placement, the per-line home (directory) mapping,
@@ -78,6 +91,7 @@ import (
 	"nocout/internal/core"
 	"nocout/internal/physic"
 	"nocout/internal/sim"
+	"nocout/internal/stats"
 	"nocout/internal/workload"
 )
 
@@ -154,6 +168,57 @@ type Result struct {
 	// source is heterogeneous (a Mix, or a capture of one); nil for
 	// homogeneous runs.
 	PerWorkloadIPC map[string]float64 `json:"per_workload_ipc,omitempty"`
+
+	// ReqLatency is the request-lifecycle summary for open-system
+	// workloads (the "opensys:" family); nil for closed-loop runs, so
+	// their JSON, CSV, and table output is byte-identical to before the
+	// open-system subsystem existed.
+	ReqLatency *ReqLatency `json:"req_latency,omitempty"`
+}
+
+// LatencyHist is the mergeable log-bucketed histogram request latencies
+// aggregate in (≤12.5% relative quantile error, exact below 16 cycles).
+type LatencyHist = stats.LogHist
+
+// ReqLatency summarizes the request lifecycle of an open-system run:
+// offered/completed/dropped counts, the latency distribution
+// (arrival→completion, in cycles), and the mean queue length seen by
+// arrivals. Multi-seed runs merge histograms across seeds before taking
+// quantiles, so the tail reflects every measured request.
+type ReqLatency struct {
+	Arrivals  int64   `json:"arrivals"`
+	Completed int64   `json:"completed"`
+	Dropped   int64   `json:"dropped,omitempty"`
+	MeanCy    float64 `json:"mean_cy"`
+	P50       int64   `json:"p50_cy"`
+	P95       int64   `json:"p95_cy"`
+	P99       int64   `json:"p99_cy"`
+	MeanQueue float64 `json:"mean_queue_len"`
+	// Hist is the full latency histogram; omit-empty keeps summaries
+	// small when callers strip it before encoding.
+	Hist *LatencyHist `json:"hist,omitempty"`
+}
+
+// reqLatencyOf condenses merged open-system accounting into the Result
+// block. A nil or empty input (closed-loop run) yields nil.
+func reqLatencyOf(open *workload.OpenStats) *ReqLatency {
+	if open == nil {
+		return nil
+	}
+	r := &ReqLatency{
+		Arrivals:  open.Arrivals,
+		Completed: open.Completed,
+		Dropped:   open.Dropped,
+		MeanQueue: open.MeanQueueLen(),
+		Hist:      open.Hist,
+	}
+	if open.Hist != nil && open.Hist.Count() > 0 {
+		r.MeanCy = open.Hist.Mean()
+		r.P50 = open.Hist.Quantile(0.50)
+		r.P95 = open.Hist.Quantile(0.95)
+		r.P99 = open.Hist.Quantile(0.99)
+	}
+	return r
 }
 
 // String formats the headline numbers, with the per-member breakdown
@@ -173,6 +238,12 @@ func (r Result) String() string {
 			parts[i] = fmt.Sprintf("%s %.2f", name, r.PerWorkloadIPC[name])
 		}
 		s += " [" + strings.Join(parts, ", ") + "]"
+	}
+	if rl := r.ReqLatency; rl != nil {
+		s += fmt.Sprintf(", req p50/p95/p99 %d/%d/%d cy", rl.P50, rl.P95, rl.P99)
+		if rl.Dropped > 0 {
+			s += fmt.Sprintf(" (%d dropped)", rl.Dropped)
+		}
 	}
 	return s
 }
@@ -211,6 +282,7 @@ func RunWorkload(cfg Config, w Workload, q Quality) Result {
 type seedRun struct {
 	agg, lat, snoop, miss, impki, dmpki float64
 	members                             map[string]float64
+	open                                *workload.OpenStats
 	res                                 Result
 	// complete marks a seed whose simulation ran to the end; a seed that
 	// bailed on a cancelled context leaves it false, poisoning the
@@ -305,6 +377,7 @@ func runSeeds(ctx context.Context, cfg Config, w workload.Workload, q Quality) (
 			o.impki = m.L1IMPKI
 			o.dmpki = m.L1DMPKI
 			o.members = m.PerMemberIPC
+			o.open = m.Open
 			if s == 0 {
 				o.res = Result{
 					Design:      cfg.Design,
@@ -356,6 +429,17 @@ func runSeeds(ctx context.Context, cfg Config, w workload.Workload, q Quality) (
 			}
 		}
 		res.PerWorkloadIPC = acc
+	}
+	if outs[0].open != nil {
+		// Seed merge order is fixed (histogram merge is commutative and
+		// associative anyway), and counts sum across seeds: the tail
+		// quantiles reflect every measured request, not a per-seed average
+		// of quantiles (which would not be a quantile of anything).
+		merged := workload.NewOpenStats()
+		for s := range outs {
+			merged.Merge(outs[s].open)
+		}
+		res.ReqLatency = reqLatencyOf(merged)
 	}
 	return res, complete
 }

@@ -75,10 +75,33 @@ var csvHeader = []string{
 	"error",
 }
 
+// csvOpenHeader extends csvHeader with the request-latency columns.
+// They appear only when some row is open-system, so every closed-loop
+// report stays byte-identical to the pre-opensys schema.
+var csvOpenHeader = []string{
+	"req_offered", "req_completed", "req_dropped",
+	"req_mean_cy", "req_p50_cy", "req_p95_cy", "req_p99_cy", "req_mean_queue",
+}
+
+// hasOpenRows reports whether any measured point is open-system.
+func (r *Report) hasOpenRows() bool {
+	for _, pr := range r.Results {
+		if pr.Result.ReqLatency != nil {
+			return true
+		}
+	}
+	return false
+}
+
 // WriteCSV encodes the report as one CSV row per point.
 func (r *Report) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write(csvHeader); err != nil {
+	open := r.hasOpenRows()
+	header := csvHeader
+	if open {
+		header = append(append([]string{}, csvHeader...), csvOpenHeader...)
+	}
+	if err := cw.Write(header); err != nil {
 		return err
 	}
 	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
@@ -93,6 +116,21 @@ func (r *Report) WriteCSV(w io.Writer) error {
 			f(res.L1IMPKI), f(res.L1DMPKI), f(res.NoCPower.Total()),
 			pr.Err,
 		}
+		if open {
+			if rl := res.ReqLatency; rl != nil {
+				row = append(row,
+					strconv.FormatInt(rl.Arrivals, 10),
+					strconv.FormatInt(rl.Completed, 10),
+					strconv.FormatInt(rl.Dropped, 10),
+					f(rl.MeanCy),
+					strconv.FormatInt(rl.P50, 10),
+					strconv.FormatInt(rl.P95, 10),
+					strconv.FormatInt(rl.P99, 10),
+					f(rl.MeanQueue))
+			} else {
+				row = append(row, "", "", "", "", "", "", "", "")
+			}
+		}
 		if err := cw.Write(row); err != nil {
 			return err
 		}
@@ -101,19 +139,37 @@ func (r *Report) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-// Table renders the report as a generic per-point text table.
+// Table renders the report as a generic per-point text table. Request-
+// latency columns appear only when some row is open-system; all-closed-
+// loop reports render exactly as they always have.
 func (r *Report) Table() *Table {
 	title := r.Title
 	if title == "" {
 		title = "sweep report"
 	}
+	open := r.hasOpenRows()
 	t := &Table{Title: title,
 		Header: []string{"variant", "workload", "cores", "agg IPC", "IPC/core", "net lat", "NoC W"}}
+	if open {
+		t.Header = append(t.Header, "req p50", "req p95", "req p99", "drops")
+	}
 	for _, pr := range r.Results {
 		p, res := pr.Point, pr.Result
-		t.AddRow(p.Variant, p.Workload, strconv.Itoa(p.Config.Cores),
+		row := []string{p.Variant, p.Workload, strconv.Itoa(p.Config.Cores),
 			f2(res.AggIPC), f3(res.PerCoreIPC), f2(res.AvgNetLatency),
-			f2(res.NoCPower.Total()))
+			f2(res.NoCPower.Total())}
+		if open {
+			if rl := res.ReqLatency; rl != nil {
+				row = append(row,
+					strconv.FormatInt(rl.P50, 10),
+					strconv.FormatInt(rl.P95, 10),
+					strconv.FormatInt(rl.P99, 10),
+					strconv.FormatInt(rl.Dropped, 10))
+			} else {
+				row = append(row, "", "", "", "")
+			}
+		}
+		t.AddRow(row...)
 	}
 	return t
 }
