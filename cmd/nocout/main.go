@@ -88,6 +88,7 @@ func run() error {
 	leaseTTL := flag.Duration("lease-ttl", 0, "campaign lease lifetime before a crashed worker's points are stolen (default 10m)")
 	recompute := flag.Bool("recompute", false, "with -campaign, ignore cached results once and recompute them")
 	keepGoing := flag.Bool("keep-going", false, "record per-point errors in the report instead of aborting the sweep on the first failure")
+	simParallel := flag.Int("sim-parallel", 1, "shard each simulation across N concurrently stepping tile-group domains; results are bit-identical for any N (see EXPERIMENTS.md)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (pprof evidence for perf PRs)")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -307,15 +308,19 @@ func run() error {
 		opts = append(opts, nocout.WithVariant(d.String(), cfg))
 	}
 
+	if *simParallel > 1 {
+		opts = append(opts, nocout.WithSimParallelism(*simParallel))
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	exp := nocout.NewExperiment(opts...)
 
 	if *campaignDir != "" {
 		return runCampaign(ctx, *campaignDir, exp, campaign.Options{
-			Owner:     *campaignWorker,
-			LeaseTTL:  *leaseTTL,
-			Recompute: *recompute,
+			Owner:          *campaignWorker,
+			LeaseTTL:       *leaseTTL,
+			Recompute:      *recompute,
+			SimParallelism: *simParallel,
 		}, *jsonOut, *csvOut)
 	}
 

@@ -38,8 +38,10 @@ func TestHierarchyRegistryComplete(t *testing.T) {
 // TestSharedNUCAStateHashIdentical pins the tentpole's bit-identity
 // requirement: the refactored generic chip, built with the baseline
 // hierarchy on a 16-tile mesh, reproduces the pre-refactor code's state
-// hash cycle for cycle. The constants were captured from the seed
-// (pre-hierarchy) chip.buildAgents.
+// hash cycle for cycle. The constants were recaptured when the shared
+// packet-id counter left the digest (per-agent ids for the sharded
+// kernel); behavioural identity with the seed is still pinned float-for-
+// float by TestSharedNUCAQuickBitIdentical below.
 func TestSharedNUCAStateHashIdentical(t *testing.T) {
 	w, err := workload.Parse("MapReduce-C")
 	if err != nil {
@@ -50,12 +52,12 @@ func TestSharedNUCAStateHashIdentical(t *testing.T) {
 	c := chip.New(cfg, w)
 	c.PrewarmCaches()
 	c.Engine.Step(3000)
-	if h := c.StateHash(); h != 0x466056ba811828a {
-		t.Fatalf("state hash at cycle 3000 = %#x, want %#x (pre-refactor)", h, uint64(0x466056ba811828a))
+	if h := c.StateHash(); h != 0xa92f40036baf40c4 {
+		t.Fatalf("state hash at cycle 3000 = %#x, want %#x (pre-refactor)", h, uint64(0xa92f40036baf40c4))
 	}
 	c.Engine.Step(5000)
-	if h := c.StateHash(); h != 0xbd619ae21f049489 {
-		t.Fatalf("state hash at cycle 8000 = %#x, want %#x (pre-refactor)", h, uint64(0xbd619ae21f049489))
+	if h := c.StateHash(); h != 0x9948890ee3c5c5f3 {
+		t.Fatalf("state hash at cycle 8000 = %#x, want %#x (pre-refactor)", h, uint64(0x9948890ee3c5c5f3))
 	}
 }
 

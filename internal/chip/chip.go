@@ -102,8 +102,18 @@ type Chip struct {
 	// NocNet is set by the NOC-Out organization.
 	NocNet *core.Network
 
+	// Shard is the conservative parallel coordinator when the chip was
+	// built with NewSharded and more than one domain; nil otherwise.
+	// Doms holds the per-domain engines (Doms[0] == Engine). Stepping a
+	// sharded chip must go through Warmup/Run/FlushAll so every domain
+	// advances under the synchronization protocol; Engine remains usable
+	// directly only on single-domain chips.
+	Shard *sim.Sharded
+	Doms  []*sim.Engine
+
+	plan   *noc.ShardPlan
+	pools  []*noc.PacketPool
 	active int
-	pktID  uint64
 
 	// trackers are the enabled cores' open-system streams, when the
 	// workload is an open one; empty for closed-loop workloads.
@@ -115,7 +125,16 @@ type Chip struct {
 // The design's organization and the memory hierarchy are resolved through
 // their registries; an unregistered design or hierarchy panics, as does a
 // hierarchy that cannot inhabit the organization's fabric.
-func New(cfg Config, w workload.Workload) *Chip {
+func New(cfg Config, w workload.Workload) *Chip { return NewSharded(cfg, w, 1) }
+
+// NewSharded builds the same chip partitioned into domains tile-group
+// domains that step concurrently under the conservative parallel kernel
+// (sim.Sharded). Results are bit-identical to New for any domain count:
+// only wall-clock behaviour differs. domains is clamped to what the fabric
+// supports — router-network organizations shard down to one domain per
+// router; the ideal fabric (one monolithic component) always runs single-
+// domain. domains <= 1 is exactly New.
+func NewSharded(cfg Config, w workload.Workload, domains int) *Chip {
 	if cfg.Cores < 1 {
 		panic("chip: need at least one core")
 	}
@@ -134,7 +153,7 @@ func New(cfg Config, w workload.Workload) *Chip {
 	if err != nil {
 		panic(err)
 	}
-	c := &Chip{Cfg: cfg, Workload: w, Engine: sim.NewEngine()}
+	c := &Chip{Cfg: cfg, Workload: w}
 	fab := org.Build(cfg)
 	c.Fabric = fab
 	c.Net = fab.Net
@@ -145,10 +164,56 @@ func New(cfg Config, w workload.Workload) *Chip {
 		panic(err)
 	}
 	c.Memory = ml
+
+	var rn *noc.RouterNetwork
+	if v, ok := c.Net.(interface{ RN() *noc.RouterNetwork }); ok {
+		rn = v.RN()
+	}
+	if domains < 1 || rn == nil {
+		domains = 1
+	} else if domains > len(rn.Routers) {
+		domains = len(rn.Routers)
+	}
+	c.Doms = make([]*sim.Engine, domains)
+	for d := range c.Doms {
+		c.Doms[d] = sim.NewEngine()
+	}
+	c.Engine = c.Doms[0]
+
 	c.buildAgents(fab, ml)
 	c.buildCores(fab.CoreOrder)
-	c.register()
+	if domains == 1 {
+		c.register()
+		return c
+	}
+	c.plan = rn.BuildShardPlan(routerDomains(rn, domains), domains)
+	c.registerSharded(rn)
+	c.Shard = sim.NewSharded(c.Doms, c.plan.InEdges, c.plan.Lookahead)
 	return c
+}
+
+// NumDomains reports how many domains the chip actually runs on.
+func (c *Chip) NumDomains() int { return len(c.Doms) }
+
+// CrossLinks reports the number of staged cross-domain pipes (0 when
+// single-domain), for diagnostics and tests.
+func (c *Chip) CrossLinks() int {
+	if c.plan == nil {
+		return 0
+	}
+	return c.plan.CrossLinks
+}
+
+// routerDomains bands the routers into contiguous index ranges. Router
+// construction order is spatial in every builtin organization (row-major
+// tiles for the mesh/torus/cmesh, column trees then LLC routers for
+// NOC-Out), so contiguous bands keep most links domain-internal.
+func routerDomains(rn *noc.RouterNetwork, domains int) []int {
+	dom := make([]int, len(rn.Routers))
+	for i := range dom {
+		dom[i] = i * domains / len(rn.Routers)
+	}
+	return dom
 }
 
 // ActiveCores returns the number of enabled cores (the workload's
@@ -162,19 +227,28 @@ func (c *Chip) ActiveCores() int { return c.active }
 // come from the MemoryLayout.
 func (c *Chip) buildAgents(fab *Fabric, ml *MemoryLayout) {
 	cfg := c.Cfg
+	// One packet pool per node: the agents sending from a node and the
+	// dispatcher recycling delivered packets into it always run in that
+	// node's scheduling domain, so pools never need locking.
+	c.pools = make([]*noc.PacketPool, fab.NumNodes)
+	for i := range c.pools {
+		c.pools[i] = &noc.PacketPool{}
+	}
 	mcNode := func(line uint64) (noc.NodeID, int) {
 		ch := ml.ChannelOf(line)
 		return fab.MCNodes[ch], ch
 	}
 	for b := 0; b < ml.NumBanks; b++ {
-		c.Banks = append(c.Banks, coherence.NewBank(b, ml.BankNode(b), c.Net, ml.BankConf(b), &c.pktID, mcNode, fab.CoreNode))
+		node := ml.BankNode(b)
+		c.Banks = append(c.Banks, coherence.NewBank(b, node, c.Net, ml.BankConf(b), c.pools[node], mcNode, fab.CoreNode))
 	}
 	for ch := 0; ch < cfg.MemChannels; ch++ {
-		mc := mem.NewController(ch, fab.MCNodes[ch], c.Net, ml.MemConf, &c.pktID, ml.BankNode)
+		mc := mem.NewController(ch, fab.MCNodes[ch], c.Net, ml.MemConf, c.pools[fab.MCNodes[ch]], ml.BankNode)
 		c.MCs = append(c.MCs, mc)
 	}
 	for i := 0; i < cfg.Cores; i++ {
-		l1 := coherence.NewL1(i, fab.CoreNode(i), c.Net, ml.L1Conf, &c.pktID, ml.Home, fab.CoreNode)
+		node := fab.CoreNode(i)
+		l1 := coherence.NewL1(i, node, c.Net, ml.L1Conf, c.pools[node], ml.Home, fab.CoreNode)
 		c.L1s = append(c.L1s, l1)
 	}
 	c.installDispatchers(fab.NumNodes)
@@ -184,8 +258,13 @@ func (c *Chip) buildAgents(fab *Fabric, ml *MemoryLayout) {
 // protocol agents (several agents can share a node).
 func (c *Chip) installDispatchers(nNodes int) {
 	for node := 0; node < nNodes; node++ {
+		pool := c.pools[node]
 		c.Net.SetDeliver(noc.NodeID(node), func(now sim.Cycle, p *noc.Packet) {
-			m := p.Payload.(coherence.Msg)
+			// Copy the message out, then recycle the packet (and its
+			// payload cell) into this node's pool before dispatching, so
+			// a send the delivery triggers can reuse it immediately.
+			m := *p.Payload.(*coherence.Msg)
+			pool.Put(p)
 			switch m.Dst {
 			case coherence.AgentL1:
 				c.L1s[m.DstID].Deliver(m)
@@ -247,15 +326,68 @@ func (c *Chip) register() {
 	}
 }
 
+// registerSharded distributes the components of register() across the
+// domain engines: every router and NI goes to its plan domain, and each
+// protocol agent (and each core, which calls its L1 synchronously) goes to
+// the domain owning its node's NI. Global construction order is preserved,
+// so components co-located in one domain keep the relative tick order the
+// single-engine kernel uses — part of the bit-identity argument.
+func (c *Chip) registerSharded(rn *noc.RouterNetwork) {
+	p := c.plan
+	rn.RegisterSharded(c.Doms, p)
+	for _, l1 := range c.L1s {
+		c.Doms[p.NodeDomain(l1.Node)].Register(l1)
+	}
+	for _, b := range c.Banks {
+		c.Doms[p.NodeDomain(b.Node)].Register(b)
+	}
+	for _, mc := range c.MCs {
+		c.Doms[p.NodeDomain(mc.Node)].Register(mc)
+	}
+	for i, co := range c.Cores {
+		c.Doms[p.NodeDomain(c.L1s[i].Node)].Register(co)
+	}
+}
+
+// step advances the chip n cycles through whichever kernel it was built
+// with; flush settles the lazily-accounted counters of sleeping components
+// in every domain. Both are safe only between steps.
+func (c *Chip) step(n sim.Cycle) {
+	if c.Shard != nil {
+		c.Shard.Step(n)
+		return
+	}
+	c.Engine.Step(n)
+}
+
+// FlushAll settles lazy accounting across all domains (Engine.Flush on a
+// single-domain chip). Exposed for tests that hash mid-run state.
+func (c *Chip) FlushAll() {
+	if c.Shard != nil {
+		c.Shard.Flush()
+		return
+	}
+	c.Engine.Flush()
+}
+
+// NowCycle returns the chip-wide clock: all domains agree on it whenever
+// the chip is not mid-step.
+func (c *Chip) NowCycle() sim.Cycle {
+	if c.Shard != nil {
+		return c.Shard.Now()
+	}
+	return c.Engine.Now()
+}
+
 // --- measurement ------------------------------------------------------------
 
 // Warmup runs n cycles and clears all measurement counters, leaving caches,
 // predictors-of-sorts and queues warm (the SimFlex-style methodology).
 func (c *Chip) Warmup(n sim.Cycle) {
-	c.Engine.Step(n)
+	c.step(n)
 	// Sleeping components account stall/utilization counters lazily; settle
 	// them against the warm-up before zeroing.
-	c.Engine.Flush()
+	c.FlushAll()
 	for _, co := range c.Cores {
 		co.ResetStats()
 	}
@@ -275,7 +407,7 @@ func (c *Chip) Warmup(n sim.Cycle) {
 }
 
 // Run advances the measurement window by n cycles.
-func (c *Chip) Run(n sim.Cycle) { c.Engine.Step(n) }
+func (c *Chip) Run(n sim.Cycle) { c.step(n) }
 
 // Metrics summarizes a finished measurement window.
 type Metrics struct {
@@ -310,7 +442,7 @@ func (c *Chip) NetRouters() []*noc.Router { return c.Fabric.Routers }
 
 // Metrics gathers the chip's counters.
 func (c *Chip) Metrics() Metrics {
-	c.Engine.Flush() // settle lazily-accounted counters of sleeping components
+	c.FlushAll() // settle lazily-accounted counters of sleeping components
 	var m Metrics
 	m.ActiveCores = c.active
 	var cycles int64
@@ -397,13 +529,13 @@ func Measure(cfg Config, w workload.Workload, warmup, window sim.Cycle) Metrics 
 }
 
 // StateHash digests the architecturally visible simulation state — the
-// clock, packet ids, network counters, and every agent's statistics and
-// occupancy — into one FNV-1a word. The kernel conformance suite compares
-// it cycle-by-cycle between the scheduled and naive kernels: any divergence
-// in timing or protocol behaviour shows up in these counters within a
-// cycle or two of occurring.
+// clock, network counters, and every agent's statistics and occupancy —
+// into one FNV-1a word. The kernel conformance suite compares it
+// cycle-by-cycle between the scheduled and naive kernels, and the sharded
+// suite between domain counts: any divergence in timing or protocol
+// behaviour shows up in these counters within a cycle or two of occurring.
 func (c *Chip) StateHash() uint64 {
-	c.Engine.Flush()
+	c.FlushAll()
 	h := uint64(14695981039346656037)
 	mix := func(v uint64) {
 		h ^= v
@@ -414,8 +546,7 @@ func (c *Chip) StateHash() uint64 {
 			mix(uint64(v))
 		}
 	}
-	mixI(int64(c.Engine.Now()), int64(c.active))
-	mix(c.pktID)
+	mixI(int64(c.NowCycle()), int64(c.active))
 	ns := c.Net.Stats()
 	mixI(ns.Injected, ns.Delivered, ns.FlitHops, ns.PacketHops, ns.InjectFlits)
 	mix(math.Float64bits(ns.FlitLinkMM))

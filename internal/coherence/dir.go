@@ -82,7 +82,9 @@ type Bank struct {
 
 	net      noc.Network
 	linkBits int
-	pktID    *uint64
+	pool     *noc.PacketPool
+	idBase   uint64
+	pktSeq   uint64
 
 	arr     *cache.Array
 	sharers []Bitset
@@ -93,6 +95,7 @@ type Bank struct {
 	phase  uint64 // this bank's residue mod stride
 
 	busy   map[uint64]*trans
+	freeTr []*trans // recycled transactions (steady state allocates none)
 	reqQ   sim.Queue[Msg]
 	inPipe *sim.Pipe[Msg]
 	inbox  sim.Queue[Msg]
@@ -127,8 +130,10 @@ type BankConfig struct {
 	Stride, Phase uint64
 }
 
-// NewBank builds an LLC bank/directory controller.
-func NewBank(bankID int, node noc.NodeID, net noc.Network, cfg BankConfig, pktID *uint64,
+// NewBank builds an LLC bank/directory controller. pool recycles this
+// node's delivered packets into the bank's sends; nil gives it a private
+// pool.
+func NewBank(bankID int, node noc.NodeID, net noc.Network, cfg BankConfig, pool *noc.PacketPool,
 	mcNode func(line uint64) (noc.NodeID, int), l1Node func(core int) noc.NodeID) *Bank {
 	if cfg.AccessLat < 1 {
 		cfg.AccessLat = 4
@@ -146,6 +151,9 @@ func NewBank(bankID int, node noc.NodeID, net noc.Network, cfg BankConfig, pktID
 	}
 	arr := cache.NewArray(cfg.SizeBytes, cfg.Ways)
 	arr.SetHash(true)
+	if pool == nil {
+		pool = &noc.PacketPool{}
+	}
 	b := &Bank{
 		BankID:   bankID,
 		Node:     node,
@@ -153,7 +161,8 @@ func NewBank(bankID int, node noc.NodeID, net noc.Network, cfg BankConfig, pktID
 		phase:    phase,
 		net:      net,
 		linkBits: cfg.LinkBits,
-		pktID:    pktID,
+		pool:     pool,
+		idBase:   noc.PacketIDBase(noc.PktTagDir, bankID),
 		arr:      arr,
 		sharers:  make([]Bitset, arr.Lines()),
 		owner:    make([]int32, arr.Lines()),
@@ -315,7 +324,9 @@ func (b *Bank) handleGetS(now sim.Cycle, m Msg) {
 	slot, hit := b.arr.Lookup(b.aline(m.Addr))
 	if !hit {
 		b.Stats.Misses++
-		b.busy[m.Addr] = &trans{origin: m, state: tWaitMem}
+		tr := b.newTrans()
+		tr.origin, tr.state = m, tWaitMem
+		b.busy[m.Addr] = tr
 		b.sendMemRead(now, m.Addr)
 		return
 	}
@@ -324,7 +335,9 @@ func (b *Bank) handleGetS(now sim.Cycle, m Msg) {
 	if own >= 0 && own != int32(m.SrcID) {
 		b.Stats.SnoopAccesses++
 		b.Stats.SnoopMsgs++
-		b.busy[m.Addr] = &trans{origin: m, state: tWaitCopyBack}
+		tr := b.newTrans()
+		tr.origin, tr.state = m, tWaitCopyBack
+		b.busy[m.Addr] = tr
 		b.reply(now, int(own), Msg{Type: FwdGetS, Addr: m.Addr, Dst: AgentL1, DstID: int(own), SrcID: b.BankID, Req: m.SrcID})
 		return
 	}
@@ -341,7 +354,9 @@ func (b *Bank) handleGetX(now sim.Cycle, m Msg) {
 	slot, hit := b.arr.Lookup(b.aline(m.Addr))
 	if !hit {
 		b.Stats.Misses++
-		b.busy[m.Addr] = &trans{origin: m, state: tWaitMem}
+		tr := b.newTrans()
+		tr.origin, tr.state = m, tWaitMem
+		b.busy[m.Addr] = tr
 		b.sendMemRead(now, m.Addr)
 		return
 	}
@@ -350,7 +365,9 @@ func (b *Bank) handleGetX(now sim.Cycle, m Msg) {
 	if own >= 0 && own != int32(m.SrcID) {
 		b.Stats.SnoopAccesses++
 		b.Stats.SnoopMsgs++
-		b.busy[m.Addr] = &trans{origin: m, state: tWaitFwdAck}
+		tr := b.newTrans()
+		tr.origin, tr.state = m, tWaitFwdAck
+		b.busy[m.Addr] = tr
 		b.reply(now, int(own), Msg{Type: FwdGetX, Addr: m.Addr, Dst: AgentL1, DstID: int(own), SrcID: b.BankID, Req: m.SrcID})
 		return
 	}
@@ -367,7 +384,9 @@ func (b *Bank) handleGetX(now sim.Cycle, m Msg) {
 	})
 	if others > 0 {
 		b.Stats.SnoopAccesses++
-		tr := &trans{origin: m, state: tWaitInvAcks, acksLeft: others, reqWasSharer: wasSharer}
+		tr := b.newTrans()
+		tr.origin, tr.state = m, tWaitInvAcks
+		tr.acksLeft, tr.reqWasSharer = others, wasSharer
 		b.busy[m.Addr] = tr
 		b.sharers[slot].ForEach(func(id int) {
 			if id == m.SrcID {
@@ -480,8 +499,23 @@ func (b *Bank) mustTrans(line uint64, st transState) *trans {
 	return tr
 }
 
-// finish closes a transaction and requeues any requests that piled up
-// behind the line.
+// newTrans returns a zeroed transaction from the bank's free list. finish
+// recycles every transaction it closes, so misses in the steady state reuse
+// the same handful of trans structs (and their pending-queue capacity)
+// instead of allocating per miss.
+func (b *Bank) newTrans() *trans {
+	n := len(b.freeTr)
+	if n == 0 {
+		return &trans{}
+	}
+	tr := b.freeTr[n-1]
+	b.freeTr[n-1] = nil
+	b.freeTr = b.freeTr[:n-1]
+	return tr
+}
+
+// finish closes a transaction, requeues any requests that piled up behind
+// the line, and recycles the transaction struct.
 func (b *Bank) finish(now sim.Cycle, line uint64, tr *trans) {
 	delete(b.busy, line)
 	if tr.hasVictim {
@@ -492,7 +526,9 @@ func (b *Bank) finish(now sim.Cycle, line uint64, tr *trans) {
 	for _, m := range tr.pending {
 		b.reqQ.Push(m)
 	}
-	tr.pending = nil
+	pending := tr.pending[:0]
+	*tr = trans{pending: pending}
+	b.freeTr = append(b.freeTr, tr)
 }
 
 func (b *Bank) sendMemRead(now sim.Cycle, line uint64) {
@@ -512,15 +548,20 @@ func (b *Bank) reply(now sim.Cycle, core int, m Msg) {
 }
 
 func (b *Bank) send(now sim.Cycle, dst noc.NodeID, m Msg) {
-	*b.pktID++
-	b.net.Send(now, &noc.Packet{
-		ID:      *b.pktID,
-		Class:   m.Type.Class(),
-		Src:     b.Node,
-		Dst:     dst,
-		Size:    noc.FlitsFor(m.PacketBytes(), b.linkBits),
-		Payload: m,
-	})
+	b.pktSeq++
+	p := b.pool.Get()
+	cell, _ := p.Payload.(*Msg)
+	if cell == nil {
+		cell = new(Msg)
+		p.Payload = cell
+	}
+	*cell = m
+	p.ID = b.idBase | b.pktSeq
+	p.Class = m.Type.Class()
+	p.Src = b.Node
+	p.Dst = dst
+	p.Size = noc.FlitsFor(m.PacketBytes(), b.linkBits)
+	b.net.Send(now, p)
 }
 
 // Resident reports whether line is in this bank (tests).

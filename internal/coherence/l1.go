@@ -57,7 +57,9 @@ type L1 struct {
 
 	net      noc.Network
 	linkBits int
-	pktID    *uint64
+	pool     *noc.PacketPool
+	idBase   uint64
+	pktSeq   uint64
 
 	iArr, dArr     *cache.Array
 	iState, dState []LineState
@@ -86,17 +88,23 @@ func DefaultL1Config() L1Config {
 	return L1Config{ISizeBytes: 32 << 10, IWays: 2, DSizeBytes: 32 << 10, DWays: 2, MSHRs: 16, LinkBits: 128}
 }
 
-// NewL1 builds a controller for core coreID attached at network node.
-func NewL1(coreID int, node noc.NodeID, net noc.Network, cfg L1Config, pktID *uint64,
+// NewL1 builds a controller for core coreID attached at network node. pool
+// recycles this node's delivered packets into the controller's sends; nil
+// gives the controller a private pool.
+func NewL1(coreID int, node noc.NodeID, net noc.Network, cfg L1Config, pool *noc.PacketPool,
 	home func(line uint64) (noc.NodeID, int), l1Node func(core int) noc.NodeID) *L1 {
 	ia := cache.NewArray(cfg.ISizeBytes, cfg.IWays)
 	da := cache.NewArray(cfg.DSizeBytes, cfg.DWays)
+	if pool == nil {
+		pool = &noc.PacketPool{}
+	}
 	return &L1{
 		CoreID:   coreID,
 		Node:     node,
 		net:      net,
 		linkBits: cfg.LinkBits,
-		pktID:    pktID,
+		pool:     pool,
+		idBase:   noc.PacketIDBase(noc.PktTagL1, coreID),
 		iArr:     ia,
 		dArr:     da,
 		iState:   make([]LineState, ia.Lines()),
@@ -297,15 +305,20 @@ func (l *L1) arrays(instr bool) (*cache.Array, []LineState) {
 }
 
 func (l *L1) send(now sim.Cycle, dst noc.NodeID, m Msg) {
-	*l.pktID++
-	l.net.Send(now, &noc.Packet{
-		ID:      *l.pktID,
-		Class:   m.Type.Class(),
-		Src:     l.Node,
-		Dst:     dst,
-		Size:    noc.FlitsFor(m.PacketBytes(), l.linkBits),
-		Payload: m,
-	})
+	l.pktSeq++
+	p := l.pool.Get()
+	cell, _ := p.Payload.(*Msg)
+	if cell == nil {
+		cell = new(Msg)
+		p.Payload = cell
+	}
+	*cell = m
+	p.ID = l.idBase | l.pktSeq
+	p.Class = m.Type.Class()
+	p.Src = l.Node
+	p.Dst = dst
+	p.Size = noc.FlitsFor(m.PacketBytes(), l.linkBits)
+	l.net.Send(now, p)
 }
 
 // HasLine reports whether the controller holds line (either array), for

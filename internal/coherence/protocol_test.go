@@ -24,7 +24,6 @@ type rig struct {
 
 func newRig(t *testing.T, nCores int, l1Bytes, llcBytes int) *rig {
 	t.Helper()
-	var pktID uint64
 	bankNode := noc.NodeID(nCores)
 	mcNode := noc.NodeID(nCores + 1)
 	net := topo.NewIdealWithDelay(nCores+2, func(a, b noc.NodeID) sim.Cycle { return 3 })
@@ -37,22 +36,22 @@ func newRig(t *testing.T, nCores int, l1Bytes, llcBytes int) *rig {
 	l1cfg.ISizeBytes, l1cfg.DSizeBytes = l1Bytes, l1Bytes
 	for i := 0; i < nCores; i++ {
 		i := i
-		l1 := NewL1(i, noc.NodeID(i), net, l1cfg, &pktID, home, l1node)
+		l1 := NewL1(i, noc.NodeID(i), net, l1cfg, nil, home, l1node)
 		l1.SetFillListener(func(now sim.Cycle, line uint64, instr, write bool) { r.fills[i]++ })
 		net.SetDeliver(noc.NodeID(i), func(now sim.Cycle, p *noc.Packet) {
-			l1.Deliver(p.Payload.(Msg))
+			l1.Deliver((*p.Payload.(*Msg)))
 		})
 		r.l1s = append(r.l1s, l1)
 	}
 	bcfg := BankConfig{SizeBytes: llcBytes, Ways: 4, AccessLat: 4, LinkBits: 128, NumCores: nCores}
-	r.bank = NewBank(0, bankNode, net, bcfg, &pktID,
+	r.bank = NewBank(0, bankNode, net, bcfg, nil,
 		func(line uint64) (noc.NodeID, int) { return mcNode, 0 },
 		l1node)
-	net.SetDeliver(bankNode, func(now sim.Cycle, p *noc.Packet) { r.bank.Deliver(p.Payload.(Msg)) })
+	net.SetDeliver(bankNode, func(now sim.Cycle, p *noc.Packet) { r.bank.Deliver((*p.Payload.(*Msg))) })
 
-	r.mc = mem.NewController(0, mcNode, net, mem.DefaultConfig(), &pktID,
+	r.mc = mem.NewController(0, mcNode, net, mem.DefaultConfig(), nil,
 		func(bank int) noc.NodeID { return bankNode })
-	net.SetDeliver(mcNode, func(now sim.Cycle, p *noc.Packet) { r.mc.Deliver(p.Payload.(Msg)) })
+	net.SetDeliver(mcNode, func(now sim.Cycle, p *noc.Packet) { r.mc.Deliver((*p.Payload.(*Msg))) })
 
 	r.e.Register(net)
 	for _, l1 := range r.l1s {

@@ -36,6 +36,9 @@ func (n *Network) SetDeliver(id noc.NodeID, fn func(now sim.Cycle, p *noc.Packet
 // Stats implements noc.Network.
 func (n *Network) Stats() *noc.Stats { return n.rn.Stats() }
 
+// RN exposes the underlying router network for the shard planner.
+func (n *Network) RN() *noc.RouterNetwork { return n.rn }
+
 // RegisterInto implements sim.Registrar: the tree nodes, LLC routers and
 // NIs register as independently quiescent components.
 func (n *Network) RegisterInto(e *sim.Engine) { n.rn.RegisterInto(e) }
@@ -68,7 +71,7 @@ func Build(cfg Config) *Network {
 		for lr := 0; lr < cfg.LLCRows; lr++ {
 			idx := lr*cfg.Columns + col
 			id := cfg.LLCNode(col, lr)
-			r := noc.NewRouter(id, fmt.Sprintf("llc.r%d_%d", col, lr), cfg.LLCPipe, nil, stats)
+			r := noc.NewRouter(id, fmt.Sprintf("llc.r%d_%d", col, lr), cfg.LLCPipe, nil)
 			p := llcPorts{rowOut: make([]int, cfg.Columns), colOut: make([]int, cfg.LLCRows)}
 			for tx := 0; tx < cfg.Columns; tx++ {
 				p.rowOut[tx] = -1
@@ -260,7 +263,7 @@ func Build(cfg Config) *Network {
 			// Reduction chain: depth RowsPerSide-1 (farthest) .. 0.
 			red := make([]*noc.Router, cfg.RowsPerSide)
 			for d := 0; d < cfg.RowsPerSide; d++ {
-				r := noc.NewRouter(-1, fmt.Sprintf("red.c%d_s%d_d%d", col, side, d), 0, nil, stats)
+				r := noc.NewRouter(-1, fmt.Sprintf("red.c%d_s%d_d%d", col, side, d), 0, nil)
 				r.SetRoute(func(pk *noc.Packet) int { return 0 }) // single output: toward the LLC
 				r.AddIn("net", cfg.TreeBufFlits)
 				r.AddIn("local", cfg.TreeBufFlits)
@@ -291,7 +294,7 @@ func Build(cfg Config) *Network {
 			disp := make([]*noc.Router, cfg.RowsPerSide)
 			for d := 0; d < cfg.RowsPerSide; d++ {
 				d := d
-				r := noc.NewRouter(-1, fmt.Sprintf("disp.c%d_s%d_d%d", col, side, d), 0, nil, stats)
+				r := noc.NewRouter(-1, fmt.Sprintf("disp.c%d_s%d_d%d", col, side, d), 0, nil)
 				r.AddIn("net", cfg.TreeBufFlits)
 				local := r.AddOut("local")
 				up := -1

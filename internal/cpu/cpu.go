@@ -140,8 +140,9 @@ type Core struct {
 	fetchLine   uint64 // line being waited on (L1-I miss)
 	serialize   bool
 	serialLine  uint64
-	retryInstr  *Instr // instruction blocked on MSHR back-pressure
-	outstanding int64  // load misses in flight
+	retryInstr  Instr // instruction blocked on MSHR back-pressure
+	haveRetry   bool  // retryInstr holds a deferred instruction
+	outstanding int64 // load misses in flight
 
 	enabled bool
 
@@ -335,9 +336,9 @@ func (c *Core) fetch(now sim.Cycle) {
 			return
 		}
 		var in Instr
-		if c.retryInstr != nil {
-			in = *c.retryInstr
-			c.retryInstr = nil
+		if c.haveRetry {
+			in = c.retryInstr
+			c.haveRetry = false
 		} else if c.timed != nil {
 			in = c.timed.NextAt(now)
 		} else {
@@ -360,11 +361,13 @@ func (c *Core) fetch(now sim.Cycle) {
 				c.fetchLine = iline
 				c.fetchPC = iline
 				c.haveLine = true
-				c.retryInstr = &in // re-dispatch this instruction after the fill
+				c.retryInstr = in // re-dispatch this instruction after the fill
+				c.haveRetry = true
 				return
 			case coherence.Blocked:
 				c.Stats.BackPressure++
-				c.retryInstr = &in
+				c.retryInstr = in
+				c.haveRetry = true
 				return
 			}
 		}
@@ -396,7 +399,8 @@ func (c *Core) dispatch(now sim.Cycle, in Instr) bool {
 			}
 		case coherence.Blocked:
 			c.Stats.BackPressure++
-			c.retryInstr = &in
+			c.retryInstr = in
+			c.haveRetry = true
 			return false
 		}
 		c.Stats.LoadsIssued++
@@ -405,7 +409,8 @@ func (c *Core) dispatch(now sim.Cycle, in Instr) bool {
 		switch c.l1.Access(now, line, coherence.Store) {
 		case coherence.Blocked:
 			c.Stats.BackPressure++
-			c.retryInstr = &in
+			c.retryInstr = in
+			c.haveRetry = true
 			return false
 		}
 		// Stores retire via the write buffer: never block commit.

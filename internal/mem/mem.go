@@ -72,7 +72,9 @@ type Controller struct {
 
 	cfg      Config
 	net      noc.Network
-	pktID    *uint64
+	pool     *noc.PacketPool
+	idBase   uint64
+	pktSeq   uint64
 	bankNode func(bank int) noc.NodeID
 
 	inbox    sim.Queue[coherence.Msg]
@@ -85,18 +87,24 @@ type Controller struct {
 }
 
 // NewController builds a channel controller attached at node; bankNode maps
-// a requesting LLC bank id to its network node for replies.
-func NewController(channel int, node noc.NodeID, net noc.Network, cfg Config, pktID *uint64,
+// a requesting LLC bank id to its network node for replies. pool recycles
+// this node's delivered packets into the controller's sends; nil gives it a
+// private pool.
+func NewController(channel int, node noc.NodeID, net noc.Network, cfg Config, pool *noc.PacketPool,
 	bankNode func(bank int) noc.NodeID) *Controller {
 	if cfg.AccessLat < 1 || cfg.LinePeriod < 1 {
 		panic("mem: invalid channel timing")
+	}
+	if pool == nil {
+		pool = &noc.PacketPool{}
 	}
 	return &Controller{
 		Channel:  channel,
 		Node:     node,
 		cfg:      cfg,
 		net:      net,
-		pktID:    pktID,
+		pool:     pool,
+		idBase:   noc.PacketIDBase(noc.PktTagMC, channel),
 		bankNode: bankNode,
 		inFlight: sim.NewPipe[coherence.Msg](fmt.Sprintf("mc%d", channel), cfg.AccessLat),
 	}
@@ -206,18 +214,23 @@ func (c *Controller) Tick(now sim.Cycle) {
 		if !ok {
 			break
 		}
-		*c.pktID++
+		c.pktSeq++
 		reply := coherence.Msg{
 			Type: coherence.MemData, Addr: m.Addr,
 			Dst: coherence.AgentDir, DstID: m.SrcID, SrcID: c.Channel,
 		}
-		c.net.Send(now, &noc.Packet{
-			ID:      *c.pktID,
-			Class:   reply.Type.Class(),
-			Src:     c.Node,
-			Dst:     c.bankNode(m.SrcID),
-			Size:    noc.FlitsFor(reply.PacketBytes(), c.cfg.LinkBits),
-			Payload: reply,
-		})
+		p := c.pool.Get()
+		cell, _ := p.Payload.(*coherence.Msg)
+		if cell == nil {
+			cell = new(coherence.Msg)
+			p.Payload = cell
+		}
+		*cell = reply
+		p.ID = c.idBase | c.pktSeq
+		p.Class = reply.Type.Class()
+		p.Src = c.Node
+		p.Dst = c.bankNode(m.SrcID)
+		p.Size = noc.FlitsFor(reply.PacketBytes(), c.cfg.LinkBits)
+		c.net.Send(now, p)
 	}
 }

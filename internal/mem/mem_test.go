@@ -13,23 +13,22 @@ import (
 // harness wires one controller to an ideal 2-node network: node 0 is the
 // "bank", node 1 the channel.
 type harness struct {
-	e     *sim.Engine
-	mc    *Controller
-	net   noc.Network
-	got   []coherence.Msg
-	pktID uint64
+	e   *sim.Engine
+	mc  *Controller
+	net noc.Network
+	got []coherence.Msg
 }
 
 func newHarness(t *testing.T, cfg Config) *harness {
 	t.Helper()
 	h := &harness{e: sim.NewEngine()}
 	h.net = topo.NewIdealWithDelay(2, func(a, b noc.NodeID) sim.Cycle { return 2 })
-	h.mc = NewController(0, 1, h.net, cfg, &h.pktID, func(bank int) noc.NodeID { return 0 })
+	h.mc = NewController(0, 1, h.net, cfg, nil, func(bank int) noc.NodeID { return 0 })
 	h.net.SetDeliver(0, func(now sim.Cycle, p *noc.Packet) {
-		h.got = append(h.got, p.Payload.(coherence.Msg))
+		h.got = append(h.got, (*p.Payload.(*coherence.Msg)))
 	})
 	h.net.SetDeliver(1, func(now sim.Cycle, p *noc.Packet) {
-		h.mc.Deliver(p.Payload.(coherence.Msg))
+		h.mc.Deliver((*p.Payload.(*coherence.Msg)))
 	})
 	h.e.Register(h.net, sim.TickFunc(h.mc.Tick))
 	return h
@@ -146,8 +145,7 @@ func TestInvalidConfigPanics(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	var pktID uint64
-	NewController(0, 0, nil, Config{AccessLat: 0, LinePeriod: 0}, &pktID, nil)
+	NewController(0, 0, nil, Config{AccessLat: 0, LinePeriod: 0}, nil, nil)
 }
 
 func TestConfigWithDefaults(t *testing.T) {

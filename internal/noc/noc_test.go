@@ -15,7 +15,7 @@ func lineNet(t *testing.T, n int, pipeDelay sim.Cycle, bufCap int) *RouterNetwor
 	routers := make([]*Router, n)
 	for i := 0; i < n; i++ {
 		i := i
-		r := NewRouter(NodeID(100+i), "r", pipeDelay, nil, rn.StatsRef())
+		r := NewRouter(NodeID(100+i), "r", pipeDelay, nil)
 		r.SetRoute(func(p *Packet) int { return 0 }) // single output
 		routers[i] = r
 		r.AddIn("in", bufCap)
@@ -162,7 +162,7 @@ func TestStaticPriorityOrdering(t *testing.T) {
 	// With a static priority favouring port 1 (network) over port 0
 	// (local), a saturated network port should win every arbitration.
 	stats := &Stats{}
-	r := NewRouter(0, "prio", 1, nil, stats)
+	r := NewRouter(0, "prio", 1, nil)
 	r.SetRoute(func(p *Packet) int { return 0 })
 	r.AddIn("local", 4)
 	r.AddIn("net", 4)
@@ -171,7 +171,7 @@ func TestStaticPriorityOrdering(t *testing.T) {
 		{Port: 1, VC: ClassResp}, {Port: 0, VC: ClassResp},
 		{Port: 1, VC: ClassReq}, {Port: 0, VC: ClassReq},
 	})
-	sink := NewRouter(1, "sink", 1, nil, stats)
+	sink := NewRouter(1, "sink", 1, nil)
 	sink.SetRoute(func(p *Packet) int { return 0 })
 	in := sink.AddIn("in", 4)
 	sink.AddOut("out")
@@ -184,8 +184,8 @@ func TestStaticPriorityOrdering(t *testing.T) {
 	// Preload both input buffers directly.
 	local := &Packet{ID: 100, Class: ClassReq, Src: 0, Dst: 0, Size: 1}
 	net := &Packet{ID: 200, Class: ClassReq, Src: 0, Dst: 0, Size: 1}
-	r.ins[0].vcs[ClassReq] = append(r.ins[0].vcs[ClassReq], Flit{Pkt: local})
-	r.ins[1].vcs[ClassReq] = append(r.ins[1].vcs[ClassReq], Flit{Pkt: net})
+	r.ins[0].vcs[ClassReq].push(Flit{Pkt: local})
+	r.ins[1].vcs[ClassReq].push(Flit{Pkt: net})
 
 	e := sim.NewEngine()
 	e.Register(sim.TickFunc(r.Tick), sim.TickFunc(sink.Tick), sim.TickFunc(ni.Tick))
@@ -221,11 +221,10 @@ func TestRouteValidation(t *testing.T) {
 			t.Fatal("expected panic on invalid route")
 		}
 	}()
-	stats := &Stats{}
-	r := NewRouter(0, "bad", 1, func(p *Packet) int { return 7 }, stats)
+	r := NewRouter(0, "bad", 1, func(p *Packet) int { return 7 })
 	r.AddIn("in", 2)
 	r.AddOut("out")
-	r.ins[0].vcs[ClassReq] = append(r.ins[0].vcs[ClassReq], Flit{Pkt: &Packet{Size: 1}})
+	r.ins[0].vcs[ClassReq].push(Flit{Pkt: &Packet{Size: 1}})
 	r.Tick(1)
 }
 

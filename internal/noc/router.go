@@ -51,15 +51,20 @@ type Router struct {
 	numVCs   int    // implemented VCs (area accounting); 0 = NumClasses
 	flits    int64  // flits routed through this router (energy accounting)
 	headRoom HeadRoomFunc
-	stats    *Stats
+
+	// flitsFolded marks how much of flits has been drained into the
+	// network-wide Stats; see RouterNetwork.fold. Hot-path accounting is
+	// strictly router-local (no shared counters), so domains can tick
+	// routers concurrently without contention or ordering sensitivity.
+	flitsFolded int64
 
 	inUsed, outUsed []bool // per-cycle allocation scratch, sized to the radix
 }
 
 // NewRouter returns a router with no ports. Ports are added with AddIn /
 // AddOut and wired with Connect / ConnectNI.
-func NewRouter(id NodeID, name string, pipeDelay sim.Cycle, route RouteFunc, stats *Stats) *Router {
-	return &Router{ID: id, Name: name, PipeDelay: pipeDelay, route: route, stats: stats}
+func NewRouter(id NodeID, name string, pipeDelay sim.Cycle, route RouteFunc) *Router {
+	return &Router{ID: id, Name: name, PipeDelay: pipeDelay, route: route}
 }
 
 // SetPriority installs a static arbitration order (highest first) covering
@@ -93,9 +98,35 @@ func (r *Router) NumOut() int { return len(r.outs) }
 type InPort struct {
 	name      string
 	cap       int // flits per VC
-	vcs       [NumClasses][]Flit
+	vcs       [NumClasses]flitRing
 	in        *sim.Pipe[Flit]
 	creditOut *sim.Pipe[Credit]
+}
+
+// flitRing is a fixed-capacity flit FIFO. The credit protocol bounds VC
+// occupancy at the port capacity, so the buffer is allocated once (at
+// wiring) and reused forever. The former slice queue — append at the
+// tail, reslice the head away on dequeue — abandoned its backing array
+// as it advanced and reallocated continually on the switch-traversal hot
+// path, the chip's densest per-cycle loop.
+type flitRing struct {
+	buf  []Flit
+	head int
+	n    int
+}
+
+func (q *flitRing) len() int    { return q.n }
+func (q *flitRing) front() Flit { return q.buf[q.head] }
+
+func (q *flitRing) push(f Flit) {
+	q.buf[(q.head+q.n)%len(q.buf)] = f
+	q.n++
+}
+
+func (q *flitRing) pop() {
+	q.buf[q.head] = Flit{} // drop the packet reference for GC
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
 }
 
 // OutPort is a router output: a link pipe plus downstream credit state.
@@ -106,6 +137,13 @@ type OutPort struct {
 	credits  [NumClasses]int
 	owner    [NumClasses]*Packet
 	lengthMM float64
+
+	// sent counts flits pushed onto this link; sentFolded marks how much
+	// has been drained into Stats.FlitLinkMM. Folding computes
+	// lengthMM * Δsent in a fixed port order, so the floating-point sum is
+	// a pure function of flit movement — identical across kernels — rather
+	// than of the order concurrent routers would update a shared counter.
+	sent, sentFolded int64
 }
 
 // AddIn appends an input port with the given per-VC buffer capacity and
@@ -114,7 +152,11 @@ func (r *Router) AddIn(name string, capacity int) int {
 	if capacity < 1 {
 		panic("noc: input buffer capacity must be >= 1")
 	}
-	r.ins = append(r.ins, &InPort{name: name, cap: capacity})
+	ip := &InPort{name: name, cap: capacity}
+	for c := range ip.vcs {
+		ip.vcs[c].buf = make([]Flit, capacity)
+	}
+	r.ins = append(r.ins, ip)
 	return len(r.ins) - 1
 }
 
@@ -150,6 +192,20 @@ func (r *Router) BufferFlits() int {
 // FlitsRouted returns the number of flits this router has switched, for
 // per-router energy accounting.
 func (r *Router) FlitsRouted() int64 { return r.flits }
+
+// foldInto drains the router's hot-path accounting deltas into the
+// network-wide counters. Only RouterNetwork.fold calls it, always in
+// router order and never while the router is being ticked.
+func (r *Router) foldInto(s *Stats) {
+	s.FlitHops += r.flits - r.flitsFolded
+	r.flitsFolded = r.flits
+	for _, op := range r.outs {
+		if d := op.sent - op.sentFolded; d != 0 {
+			s.FlitLinkMM += op.lengthMM * float64(d)
+			op.sentFolded = op.sent
+		}
+	}
+}
 
 // OutLinkLengthsMM returns the physical length of every connected output
 // link, for the area (repeaters) and energy (wire fJ/bit/mm) models.
@@ -208,10 +264,10 @@ func (r *Router) Tick(now sim.Cycle) {
 				break
 			}
 			vc := f.Pkt.Class
-			if len(ip.vcs[vc]) >= ip.cap {
+			if ip.vcs[vc].len() >= ip.cap {
 				panic(fmt.Sprintf("noc: %s input %s VC %v overflow (credit protocol violated)", r.Name, ip.name, vc))
 			}
-			ip.vcs[vc] = append(ip.vcs[vc], f)
+			ip.vcs[vc].push(f)
 		}
 	}
 	r.allocate(now)
@@ -242,7 +298,7 @@ func (r *Router) NextWake(now sim.Cycle) sim.Cycle {
 	next := sim.NeverWake
 	for _, ip := range r.ins {
 		for c := range ip.vcs {
-			if len(ip.vcs[c]) > 0 {
+			if ip.vcs[c].len() > 0 {
 				return now + 1
 			}
 		}
@@ -290,11 +346,10 @@ func (r *Router) allocate(now sim.Cycle) {
 			continue
 		}
 		ip := r.ins[cd.Port]
-		q := ip.vcs[cd.VC]
-		if len(q) == 0 {
+		if ip.vcs[cd.VC].len() == 0 {
 			continue
 		}
-		f := q[0]
+		f := ip.vcs[cd.VC].front()
 		out := r.route(f.Pkt)
 		if out < 0 || out >= len(r.outs) {
 			panic(fmt.Sprintf("noc: %s route(%d->%d) = invalid port %d", r.Name, f.Pkt.Src, f.Pkt.Dst, out))
@@ -327,7 +382,7 @@ func (r *Router) allocate(now sim.Cycle) {
 			continue
 		}
 		// Grant.
-		ip.vcs[cd.VC] = q[1:]
+		ip.vcs[cd.VC].pop()
 		op.credits[cd.VC]--
 		if f.Head() {
 			op.owner[cd.VC] = f.Pkt
@@ -341,10 +396,7 @@ func (r *Router) allocate(now sim.Cycle) {
 			ip.creditOut.Push(now, Credit{VC: cd.VC})
 		}
 		r.flits++
-		if r.stats != nil {
-			r.stats.FlitHops++
-			r.stats.FlitLinkMM += op.lengthMM
-		}
+		op.sent++
 		inUsed[cd.Port] = true
 		outUsed[out] = true
 	}

@@ -7,7 +7,7 @@ import (
 )
 
 func TestVCCountDefaultsAndOverride(t *testing.T) {
-	r := NewRouter(0, "r", 1, nil, nil)
+	r := NewRouter(0, "r", 1, nil)
 	r.AddIn("a", 4)
 	r.AddIn("b", 4)
 	if r.VCCount() != NumClasses {
@@ -23,12 +23,11 @@ func TestVCCountDefaultsAndOverride(t *testing.T) {
 }
 
 func TestOutLinkLengths(t *testing.T) {
-	stats := &Stats{}
-	a := NewRouter(0, "a", 1, func(p *Packet) int { return 0 }, stats)
+	a := NewRouter(0, "a", 1, func(p *Packet) int { return 0 })
 	a.AddIn("in", 2)
 	a.AddOut("o1")
 	a.AddOut("o2") // left unconnected
-	b := NewRouter(1, "b", 1, func(p *Packet) int { return 0 }, stats)
+	b := NewRouter(1, "b", 1, func(p *Packet) int { return 0 })
 	b.AddIn("in", 2)
 	b.AddOut("out")
 	Connect(a, 0, b, 0, 1, 3.5)
@@ -43,16 +42,16 @@ func TestRoundRobinFairnessBetweenInputs(t *testing.T) {
 	// deliver roughly equal shares.
 	rn := NewRouterNetwork("fair", 3)
 	stats := rn.StatsRef()
-	mux := NewRouter(100, "mux", 1, nil, stats)
+	mux := NewRouter(100, "mux", 1, nil)
 	mux.SetRoute(func(p *Packet) int { return 0 })
 	mux.AddIn("a", 4)
 	mux.AddIn("b", 4)
 	mux.AddOut("out")
 
-	srcA := NewRouter(101, "srcA", 1, func(p *Packet) int { return 0 }, stats)
+	srcA := NewRouter(101, "srcA", 1, func(p *Packet) int { return 0 })
 	srcA.AddIn("ni", 4)
 	srcA.AddOut("out")
-	srcB := NewRouter(102, "srcB", 1, func(p *Packet) int { return 0 }, stats)
+	srcB := NewRouter(102, "srcB", 1, func(p *Packet) int { return 0 })
 	srcB.AddIn("ni", 4)
 	srcB.AddOut("out")
 	Connect(srcA, 0, mux, 0, 1, 1)

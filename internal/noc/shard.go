@@ -1,0 +1,203 @@
+package noc
+
+import (
+	"fmt"
+
+	"nocout/internal/sim"
+)
+
+// This file classifies a RouterNetwork's links against a router-to-domain
+// assignment for the conservative parallel kernel (sim.Sharded): any pipe
+// whose producer and consumer land in different domains is switched into
+// staged mode and listed as an in-edge of the consuming domain, and the
+// minimum delay over those pipes becomes the synchronization lookahead.
+//
+// Discovery is purely structural — pipes are matched by object identity
+// across router ports and NI endpoints — so it works unchanged for every
+// fabric built from Routers and NIs (mesh, torus, cmesh, flattened
+// butterfly, crossbar, NOC-Out's trees + LLC network) and for any future
+// one, with no per-topology code.
+
+// ShardPlan is the result of classifying a network against a partition.
+type ShardPlan struct {
+	Domains    int
+	RouterDom  []int // domain per rn.Routers index
+	NIDom      []int // domain per rn.NIs index (NodeID); -1 where no NI exists
+	Lookahead  sim.Cycle
+	InEdges    [][]sim.CrossStage // staged pipes consumed per domain, fixed order
+	CrossLinks int                // staged pipe count, for diagnostics
+}
+
+// NodeDomain returns the domain owning node n's NI. Protocol agents must
+// be registered in their node's domain: their inboxes are fed by the NI's
+// delivery callback and their sends go through the same NI.
+func (p *ShardPlan) NodeDomain(n NodeID) int {
+	d := p.NIDom[n]
+	if d < 0 {
+		panic(fmt.Sprintf("noc: node %d has no NI, so no domain", n))
+	}
+	return d
+}
+
+// BuildShardPlan classifies every pipe of rn under the given router-domain
+// assignment (parallel to rn.Routers, values in [0, domains)), derives NI
+// and node domains, switches cross-domain pipes into staged mode, and
+// extracts the lookahead. It also retargets every NI's counters at its
+// domain's private stats shard. The network must be fully built and not
+// yet registered with any engine.
+func (rn *RouterNetwork) BuildShardPlan(routerDom []int, domains int) *ShardPlan {
+	if len(routerDom) != len(rn.Routers) {
+		panic("noc: BuildShardPlan domain assignment must cover every router")
+	}
+	p := &ShardPlan{
+		Domains:   domains,
+		RouterDom: routerDom,
+		NIDom:     make([]int, len(rn.NIs)),
+		Lookahead: sim.NeverWake,
+		InEdges:   make([][]sim.CrossStage, domains),
+	}
+
+	// Producer/consumer domain of every pipe, keyed by pipe identity.
+	flitProd := map[*sim.Pipe[Flit]]int{}
+	flitCons := map[*sim.Pipe[Flit]]int{}
+	credProd := map[*sim.Pipe[Credit]]int{}
+	credCons := map[*sim.Pipe[Credit]]int{}
+	for i, r := range rn.Routers {
+		d := routerDom[i]
+		for _, ip := range r.ins {
+			if ip.in != nil {
+				flitCons[ip.in] = d
+			}
+			if ip.creditOut != nil {
+				credProd[ip.creditOut] = d
+			}
+		}
+		for _, op := range r.outs {
+			if op.link != nil {
+				flitProd[op.link] = d
+			}
+			if op.creditIn != nil {
+				credCons[op.creditIn] = d
+			}
+		}
+	}
+
+	// An NI lives in the domain of the router it injects into (falling
+	// back to the router that ejects to it), so its inject link never
+	// crosses a boundary; its eject side may (NOC-Out NIs inject into a
+	// reduction tree and eject from a dispersion tree).
+	for n, ni := range rn.NIs {
+		p.NIDom[n] = -1
+		if ni == nil {
+			continue
+		}
+		switch {
+		case ni.out.link != nil:
+			d, ok := flitCons[ni.out.link]
+			if !ok {
+				panic(fmt.Sprintf("noc: node %d injects into no known router", n))
+			}
+			p.NIDom[n] = d
+		case ni.eject != nil:
+			d, ok := flitProd[ni.eject]
+			if !ok {
+				panic(fmt.Sprintf("noc: node %d ejects from no known router", n))
+			}
+			p.NIDom[n] = d
+		default:
+			p.NIDom[n] = 0 // orphan NI: any domain works, it moves nothing
+		}
+		d := p.NIDom[n]
+		if ni.out.link != nil {
+			flitProd[ni.out.link] = d
+		}
+		if ni.out.creditIn != nil {
+			credCons[ni.out.creditIn] = d
+		}
+		if ni.eject != nil {
+			flitCons[ni.eject] = d
+		}
+		if ni.ejectCredit != nil {
+			credProd[ni.ejectCredit] = d
+		}
+	}
+
+	// Collect cross edges by scanning consumers in a fixed order (routers
+	// then NIs, ports in wiring order), so each domain's commit order is
+	// deterministic. A pipe without a known producer is endpoint-internal
+	// and never crosses.
+	stageFlit := func(pipe *sim.Pipe[Flit], cons int) {
+		prod, ok := flitProd[pipe]
+		if !ok || prod == cons {
+			return
+		}
+		pipe.Stage()
+		p.InEdges[cons] = append(p.InEdges[cons], pipe)
+		p.CrossLinks++
+		if pipe.Delay() < p.Lookahead {
+			p.Lookahead = pipe.Delay()
+		}
+	}
+	stageCred := func(pipe *sim.Pipe[Credit], cons int) {
+		prod, ok := credProd[pipe]
+		if !ok || prod == cons {
+			return
+		}
+		pipe.Stage()
+		p.InEdges[cons] = append(p.InEdges[cons], pipe)
+		p.CrossLinks++
+		if pipe.Delay() < p.Lookahead {
+			p.Lookahead = pipe.Delay()
+		}
+	}
+	for i, r := range rn.Routers {
+		d := routerDom[i]
+		for _, ip := range r.ins {
+			if ip.in != nil {
+				stageFlit(ip.in, d)
+			}
+		}
+		for _, op := range r.outs {
+			if op.creditIn != nil {
+				stageCred(op.creditIn, d)
+			}
+		}
+	}
+	for n, ni := range rn.NIs {
+		if ni == nil {
+			continue
+		}
+		d := p.NIDom[n]
+		if ni.eject != nil {
+			stageFlit(ni.eject, d)
+		}
+		if ni.out.creditIn != nil {
+			stageCred(ni.out.creditIn, d)
+		}
+	}
+
+	// Per-domain NI stats shards: concurrent domains must not share one
+	// counter struct. Router counters are already router-local.
+	rn.shards = make([]Stats, domains)
+	for n, ni := range rn.NIs {
+		if ni != nil {
+			ni.SetStats(&rn.shards[p.NIDom[n]])
+		}
+	}
+	return p
+}
+
+// RegisterSharded registers every router and NI into its domain's engine,
+// preserving the global iteration order RegisterInto uses — so two
+// components that land in the same domain keep their relative tick order,
+// and single-domain plans degenerate to exactly RegisterInto.
+func (rn *RouterNetwork) RegisterSharded(doms []*sim.Engine, p *ShardPlan) {
+	for i, r := range rn.Routers {
+		doms[p.RouterDom[i]].Register(r)
+	}
+	for n, ni := range rn.NIs {
+		if ni != nil {
+			doms[p.NIDom[n]].Register(ni)
+		}
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package sim
+
+// RaceEnabled reports whether the race detector is compiled in; alloc
+// guard tests skip under it (instrumentation allocates).
+const RaceEnabled = false

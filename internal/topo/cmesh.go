@@ -62,7 +62,7 @@ func NewCMesh(p CMeshParams) *noc.RouterNetwork {
 
 	for i := 0; i < nr; i++ {
 		x, y := i%rCols, i/rCols
-		r := noc.NewRouter(noc.NodeID(i), fmt.Sprintf("cmesh.r%d_%d", x, y), p.PipeDelay, nil, rn.StatsRef())
+		r := noc.NewRouter(noc.NodeID(i), fmt.Sprintf("cmesh.r%d_%d", x, y), p.PipeDelay, nil)
 		for d := 0; d < 4; d++ {
 			outIdx[i][d] = -1
 			inIdx[i][d] = -1

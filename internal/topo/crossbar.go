@@ -37,7 +37,7 @@ func NewCrossbar(p CrossbarParams) *noc.RouterNetwork {
 	plan := p.Plan
 	n := plan.NumTiles()
 	rn := noc.NewRouterNetwork(fmt.Sprintf("xbar%d", n), n+len(p.AuxTiles))
-	r := noc.NewRouter(0, "xbar", p.PipeDelay, nil, rn.StatsRef())
+	r := noc.NewRouter(0, "xbar", p.PipeDelay, nil)
 	r.SetRoute(func(pk *noc.Packet) int { return int(pk.Dst) })
 
 	// Wire length from each endpoint's tile to the die center.

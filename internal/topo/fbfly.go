@@ -56,7 +56,7 @@ func NewFBfly(p FBflyParams) *noc.RouterNetwork {
 	for i := 0; i < n; i++ {
 		id := noc.NodeID(i)
 		x, y := plan.Coord(id)
-		r := noc.NewRouter(id, fmt.Sprintf("fbfly.r%d_%d", x, y), p.PipeDelay, nil, rn.StatsRef())
+		r := noc.NewRouter(id, fmt.Sprintf("fbfly.r%d_%d", x, y), p.PipeDelay, nil)
 		rowOut[i] = make([]int, plan.Cols)
 		colOut[i] = make([]int, plan.Rows)
 		for tx := 0; tx < plan.Cols; tx++ {

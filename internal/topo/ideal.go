@@ -15,10 +15,45 @@ type Ideal struct {
 	plan    Floorplan
 	delay   func(src, dst noc.NodeID) sim.Cycle
 	deliver []func(now sim.Cycle, p *noc.Packet)
-	sched   map[sim.Cycle][]*noc.Packet
-	due     sim.MinHeap[sim.Cycle] // scheduled delivery cycles (with dupes)
-	waker   sim.Waker
-	stats   noc.Stats
+	// The delivery calendar: a min-heap of pointer buckets, one per
+	// distinct delivery cycle, plus a bucket free list. The former
+	// map[Cycle][]*Packet calendar allocated a map cell and a slice per
+	// scheduled cycle on every push path; recycled buckets keep their
+	// packet-slice capacity, so the steady state allocates nothing.
+	due      sim.MinHeap[*delivBucket]
+	buckets  map[sim.Cycle]*delivBucket
+	freeList []*delivBucket
+	waker    sim.Waker
+	stats    noc.Stats
+}
+
+// delivBucket holds the packets due at one cycle. MinHeap entries are
+// pointers, so heap swaps move one word and Less never copies packets.
+type delivBucket struct {
+	at   sim.Cycle
+	pkts []*noc.Packet
+}
+
+// Less orders buckets by delivery cycle.
+func (b *delivBucket) Less(o *delivBucket) bool { return b.at < o.at }
+
+// schedule appends p to the bucket for cycle at, creating it from the
+// free list when the cycle is new.
+func (id *Ideal) schedule(at sim.Cycle, p *noc.Packet) {
+	b, ok := id.buckets[at]
+	if !ok {
+		if n := len(id.freeList); n > 0 {
+			b = id.freeList[n-1]
+			id.freeList[n-1] = nil
+			id.freeList = id.freeList[:n-1]
+		} else {
+			b = &delivBucket{}
+		}
+		b.at = at
+		id.buckets[at] = b
+		id.due.Push(b)
+	}
+	b.pkts = append(b.pkts, p)
 }
 
 // NewIdeal builds an ideal fabric over the floorplan. auxTiles appends
@@ -38,7 +73,7 @@ func NewIdeal(plan Floorplan, auxTiles ...noc.NodeID) *Ideal {
 		plan:    plan,
 		delay:   delay,
 		deliver: make([]func(now sim.Cycle, p *noc.Packet), n+len(auxTiles)),
-		sched:   make(map[sim.Cycle][]*noc.Packet),
+		buckets: make(map[sim.Cycle]*delivBucket),
 	}
 }
 
@@ -48,7 +83,7 @@ func NewIdealWithDelay(n int, delay func(src, dst noc.NodeID) sim.Cycle) *Ideal 
 	return &Ideal{
 		delay:   delay,
 		deliver: make([]func(now sim.Cycle, p *noc.Packet), n),
-		sched:   make(map[sim.Cycle][]*noc.Packet),
+		buckets: make(map[sim.Cycle]*delivBucket),
 	}
 }
 
@@ -62,7 +97,7 @@ func (id *Ideal) NextWake(now sim.Cycle) sim.Cycle {
 	if id.due.Len() == 0 {
 		return sim.NeverWake
 	}
-	return id.due.Min()
+	return id.due.Min().at
 }
 
 // Send implements noc.Network.
@@ -76,8 +111,7 @@ func (id *Ideal) Send(now sim.Cycle, p *noc.Packet) {
 	// Serialization still exists on an ideal fabric: the tail arrives
 	// Size-1 cycles after the head at one flit per cycle.
 	at := now + d + sim.Cycle(p.Size-1)
-	id.sched[at] = append(id.sched[at], p)
-	id.due.Push(at)
+	id.schedule(at, p)
 	if id.waker != nil {
 		id.waker.Wake(at)
 	}
@@ -91,24 +125,24 @@ func (id *Ideal) SetDeliver(n noc.NodeID, fn func(now sim.Cycle, p *noc.Packet))
 // Stats implements noc.Network.
 func (id *Ideal) Stats() *noc.Stats { return &id.stats }
 
-// Tick delivers every packet scheduled for this cycle.
+// Tick delivers every packet scheduled for a due cycle, recycling the
+// drained buckets.
 func (id *Ideal) Tick(now sim.Cycle) {
-	for id.due.Len() > 0 && id.due.Min() <= now {
-		id.due.Pop()
-	}
-	ps, ok := id.sched[now]
-	if !ok {
-		return
-	}
-	delete(id.sched, now)
-	for _, p := range ps {
-		p.DeliveredAt = now
-		id.stats.RecordDelivery(p)
-		fn := id.deliver[p.Dst]
-		if fn == nil {
-			panic(fmt.Sprintf("topo: ideal: node %d has no delivery callback", p.Dst))
+	for id.due.Len() > 0 && id.due.Min().at <= now {
+		b := id.due.Pop()
+		delete(id.buckets, b.at)
+		for i, p := range b.pkts {
+			p.DeliveredAt = now
+			id.stats.RecordDelivery(p)
+			fn := id.deliver[p.Dst]
+			if fn == nil {
+				panic(fmt.Sprintf("topo: ideal: node %d has no delivery callback", p.Dst))
+			}
+			fn(now, p)
+			b.pkts[i] = nil // release for GC
 		}
-		fn(now, p)
+		b.pkts = b.pkts[:0]
+		id.freeList = append(id.freeList, b)
 	}
 }
 

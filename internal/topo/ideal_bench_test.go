@@ -1,0 +1,78 @@
+package topo
+
+import (
+	"testing"
+
+	"nocout/internal/noc"
+	"nocout/internal/sim"
+)
+
+// idealCalendarHarness drives the ideal fabric's delivery calendar the
+// way a running chip does — a rolling population of in-flight packets
+// across staggered delivery cycles — while recycling delivered packets,
+// so any remaining allocation belongs to the calendar itself.
+type idealCalendarHarness struct {
+	id   *Ideal
+	pool []*noc.Packet
+	now  sim.Cycle
+}
+
+func newIdealCalendarHarness() *idealCalendarHarness {
+	h := &idealCalendarHarness{}
+	h.id = NewIdealWithDelay(8, func(src, dst noc.NodeID) sim.Cycle {
+		return 3 + sim.Cycle(dst%5) // staggered delays: several live buckets
+	})
+	for n := 0; n < 8; n++ {
+		h.id.SetDeliver(noc.NodeID(n), func(now sim.Cycle, p *noc.Packet) {
+			h.pool = append(h.pool, p)
+		})
+	}
+	for i := 0; i < 64; i++ {
+		h.pool = append(h.pool, &noc.Packet{})
+	}
+	return h
+}
+
+// cycle advances one cycle: inject four packets, deliver the due ones.
+func (h *idealCalendarHarness) cycle() {
+	h.now++
+	for k := 0; k < 4; k++ {
+		n := len(h.pool) - 1
+		p := h.pool[n]
+		h.pool[n] = nil
+		h.pool = h.pool[:n]
+		*p = noc.Packet{Src: noc.NodeID(k % 8), Dst: noc.NodeID((k + 3) % 8), Size: 1 + k%3}
+		h.id.Send(h.now, p)
+	}
+	h.id.Tick(h.now)
+}
+
+// BenchmarkIdealCalendar measures the delivery calendar's steady state:
+// pointer-receiver heap buckets off a free list must make schedule/drain
+// allocation-free (the former map[Cycle][]*Packet calendar allocated a
+// map cell and a slice per scheduled cycle).
+func BenchmarkIdealCalendar(b *testing.B) {
+	h := newIdealCalendarHarness()
+	for i := 0; i < 1024; i++ {
+		h.cycle()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.cycle()
+	}
+}
+
+// TestIdealCalendarZeroAlloc enforces the benchmark's headline number.
+func TestIdealCalendarZeroAlloc(t *testing.T) {
+	if sim.RaceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	h := newIdealCalendarHarness()
+	for i := 0; i < 1024; i++ {
+		h.cycle()
+	}
+	if avg := testing.AllocsPerRun(200, func() { h.cycle() }); avg != 0 {
+		t.Fatalf("ideal calendar steady state allocates %.1f allocs/cycle, want 0", avg)
+	}
+}

@@ -53,7 +53,7 @@ func NewMesh(p MeshParams) *noc.RouterNetwork {
 	for i := 0; i < n; i++ {
 		id := noc.NodeID(i)
 		x, y := plan.Coord(id)
-		r := noc.NewRouter(id, fmt.Sprintf("mesh.r%d_%d", x, y), p.PipeDelay, nil, rn.StatsRef())
+		r := noc.NewRouter(id, fmt.Sprintf("mesh.r%d_%d", x, y), p.PipeDelay, nil)
 		for d := 0; d < 4; d++ {
 			outIdx[i][d] = -1
 		}

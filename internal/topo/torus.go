@@ -75,7 +75,7 @@ func NewTorus(p TorusParams) *noc.RouterNetwork {
 	for i := 0; i < n; i++ {
 		id := noc.NodeID(i)
 		x, y := plan.Coord(id)
-		r := noc.NewRouter(id, fmt.Sprintf("torus.r%d_%d", x, y), p.PipeDelay, nil, rn.StatsRef())
+		r := noc.NewRouter(id, fmt.Sprintf("torus.r%d_%d", x, y), p.PipeDelay, nil)
 		inDir[i] = make([]int, torusDirs)
 		outDir[i] = make([]int, torusDirs)
 		for d := 0; d < torusDirs; d++ {

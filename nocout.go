@@ -274,7 +274,7 @@ func RunUnlimited(cfg Config, workloadName string, q Quality) (Result, error) {
 // a constructed Mix or Phased schedule, a loaded Capture, or any user
 // implementation.
 func RunWorkload(cfg Config, w Workload, q Quality) Result {
-	res, _ := runSeeds(context.Background(), cfg, w, q)
+	res, _ := runSeeds(context.Background(), cfg, w, q, 1)
 	return res
 }
 
@@ -298,11 +298,59 @@ func isRuntimeError(r any) bool {
 	return ok
 }
 
-// simSlots bounds the number of chip simulations in flight across the
-// whole process: the Runner's worker pool and runSeeds' per-seed fan-out
-// both draw from it, so a Full-quality sweep (3 seeds/point) cannot
-// oversubscribe the machine the way points × seeds goroutines would.
-var simSlots = make(chan struct{}, runtime.NumCPU())
+// simSlots bounds the number of simulation goroutines in flight across
+// the whole process: the Runner's worker pool and runSeeds' per-seed
+// fan-out both draw from it, so a Full-quality sweep (3 seeds/point)
+// cannot oversubscribe the machine the way points × seeds goroutines
+// would. The semaphore is weighted: a simulation sharded across D
+// domains (SimDomains) runs D stepping goroutines and occupies D slots,
+// keeping workers × domains bounded too.
+var simSlots = newSlotSem(runtime.NumCPU())
+
+// slotSem is a weighted semaphore. Grants are atomic — all n slots or
+// none, under one lock — so concurrent wide requests cannot deadlock
+// holding partial grants; requests wider than the capacity are clamped
+// rather than wedged forever.
+type slotSem struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	cap  int
+	used int
+}
+
+func newSlotSem(n int) *slotSem {
+	if n < 1 {
+		n = 1
+	}
+	s := &slotSem{cap: n}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// acquire blocks until n slots (clamped to [1, cap]) are free, takes
+// them, and returns how many were actually taken for the paired release.
+func (s *slotSem) acquire(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	if n > s.cap {
+		n = s.cap
+	}
+	s.mu.Lock()
+	for s.used+n > s.cap {
+		s.cond.Wait()
+	}
+	s.used += n
+	s.mu.Unlock()
+	return n
+}
+
+func (s *slotSem) release(n int) {
+	s.mu.Lock()
+	s.used -= n
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
 
 // runSeeds is the engine's measurement kernel: it runs q.Seeds
 // independent simulations of cfg under w in parallel (bounded by
@@ -321,7 +369,7 @@ var simSlots = make(chan struct{}, runtime.NumCPU())
 // first such panic is re-raised on the caller's goroutine, so it stays a
 // recoverable hard error — Runner.Run converts it into a returned error
 // — instead of killing the process from a goroutine nobody can recover.
-func runSeeds(ctx context.Context, cfg Config, w workload.Workload, q Quality) (Result, bool) {
+func runSeeds(ctx context.Context, cfg Config, w workload.Workload, q Quality, domains int) (Result, bool) {
 	if q.Seeds < 1 {
 		q.Seeds = 1
 	}
@@ -357,14 +405,14 @@ func runSeeds(ctx context.Context, cfg Config, w workload.Workload, q Quality) (
 			if ctx.Err() != nil {
 				return
 			}
-			simSlots <- struct{}{}
-			defer func() { <-simSlots }()
+			got := simSlots.acquire(domains)
+			defer simSlots.release(got)
 			if ctx.Err() != nil {
 				return
 			}
 			scfg := cfg
 			scfg.Seed = base + uint64(s)*7919
-			c := chip.New(scfg, w)
+			c := chip.NewSharded(scfg, w, domains)
 			c.PrewarmCaches()
 			c.Warmup(q.Warmup)
 			c.Run(q.Window)

@@ -1,0 +1,91 @@
+package nocout
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// TestEffectiveWorkers pins the Runner's oversubscription arbitration:
+// sweep workers × intra-simulation domains is budgeted to the machine
+// instead of multiplying into workers × domains goroutines.
+func TestEffectiveWorkers(t *testing.T) {
+	cases := []struct {
+		workers, domains, procs, want int
+	}{
+		{0, 0, 8, 8},  // defaults: full machine, single-goroutine kernel
+		{0, 1, 8, 8},  // explicit single-domain changes nothing
+		{3, 1, 8, 3},  // explicit workers honoured
+		{0, 4, 8, 2},  // 4-domain sims: pool shrinks to 8/4
+		{8, 4, 8, 2},  // explicit request capped by the same budget
+		{1, 4, 8, 1},  // a smaller explicit request is honoured
+		{0, 16, 8, 1}, // domains wider than the machine: one point at a time
+		{0, 4, 1, 1},  // single-CPU host never goes below one worker
+		{5, 2, 8, 4},  // budget 8/2 = 4 caps the request of 5
+		{3, 2, 8, 3},  // request within budget passes through
+	}
+	for _, c := range cases {
+		if got := effectiveWorkers(c.workers, c.domains, c.procs); got != c.want {
+			t.Errorf("effectiveWorkers(%d, %d, %d) = %d, want %d",
+				c.workers, c.domains, c.procs, got, c.want)
+		}
+	}
+}
+
+// TestRunnerShardedSweep is the oversubscription regression test: a
+// 4-point sweep where every point shards across 4 domains must complete
+// (the weighted semaphore grants a sharded run atomically, even on a
+// host with fewer CPUs than domains) and reproduce the sequential
+// sweep's results bit for bit.
+func TestRunnerShardedSweep(t *testing.T) {
+	build := func(domains int) Sweep {
+		sw, err := NewExperiment(
+			WithDesigns(Mesh, FBfly),
+			WithWorkloads("MapReduce-C", "Web Search"),
+			WithCoreCounts(16),
+			WithQuality(confQ),
+			WithSimParallelism(domains),
+		).Sweep()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sw
+	}
+	seq := build(1)
+	if seq.Len() != 4 {
+		t.Fatalf("sweep has %d points, want 4", seq.Len())
+	}
+	par := build(4)
+	if par.SimDomains != 4 {
+		t.Fatalf("SimDomains = %d, want 4", par.SimDomains)
+	}
+
+	refRep, err := (&Runner{}).Run(context.Background(), seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotRep, err := (&Runner{}).Run(context.Background(), par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range refRep.Results {
+		if !reflect.DeepEqual(refRep.Results[i].Result, gotRep.Results[i].Result) {
+			t.Fatalf("point %d diverged under 4-domain sharding:\nsequential %+v\nsharded    %+v",
+				i, refRep.Results[i].Result, gotRep.Results[i].Result)
+		}
+	}
+
+	// Parallelism is an execution knob, not identity: the content key —
+	// what campaign caches address results by — must not see it.
+	k1, err := seq.Points[0].Key(seq.Quality)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k4, err := par.Points[0].Key(par.Quality)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k4 {
+		t.Fatalf("point key depends on SimDomains: %q vs %q", k1, k4)
+	}
+}

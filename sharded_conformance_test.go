@@ -1,0 +1,139 @@
+package nocout
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"nocout/internal/chip"
+	"nocout/internal/sim"
+	"nocout/internal/workload"
+)
+
+// This file is the parallel kernel's correctness oracle: the sharded
+// conservative kernel (chip.NewSharded, domains stepping concurrently
+// under the horizon protocol) must be bit-identical to the single-engine
+// scheduled kernel for every registered design, every hierarchy, and any
+// domain count — the same state-hash discipline TestKernelConformance
+// applies to scheduled-vs-naive, extended to sharded-vs-scheduled.
+
+// TestShardedKernelConformance compares cycle-by-cycle state hashes of a
+// 4-domain sharded chip against the single-engine scheduled kernel for
+// every registered design, then the complete final Metrics.
+func TestShardedKernelConformance(t *testing.T) {
+	w, err := workload.Parse("MapReduce-C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range Designs() {
+		d := d
+		t.Run(d.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := DefaultConfig(d)
+			cfg.Cores = 16
+
+			ref := chip.New(cfg, w)
+			ref.PrewarmCaches()
+			sh := chip.NewSharded(cfg, w, 4)
+			sh.PrewarmCaches()
+			if d != Ideal && d != Crossbar && sh.NumDomains() != 4 {
+				t.Fatalf("sharded chip runs %d domains, want 4", sh.NumDomains())
+			}
+
+			total := confQ.Warmup + confQ.Window
+			for cy := sim.Cycle(1); cy <= total; cy++ {
+				ref.Run(1)
+				sh.Run(1)
+				if hr, hs := ref.StateHash(), sh.StateHash(); hr != hs {
+					t.Fatalf("state hash diverged at cycle %d: scheduled %#x sharded %#x (%d domains, %d cross links)",
+						cy, hr, hs, sh.NumDomains(), sh.CrossLinks())
+				}
+			}
+			mr, msh := ref.Metrics(), sh.Metrics()
+			if !reflect.DeepEqual(mr, msh) {
+				t.Fatalf("final metrics diverged:\nscheduled %+v\nsharded   %+v", mr, msh)
+			}
+		})
+	}
+}
+
+// TestShardedHierarchyConformance runs the sharded kernel against every
+// registered memory hierarchy: same full-measurement state hash and
+// Metrics as the single-engine kernel.
+func TestShardedHierarchyConformance(t *testing.T) {
+	w, err := workload.Parse("Web Search")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range Hierarchies() {
+		h := h
+		t.Run(h.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := DefaultConfig(Mesh)
+			cfg.Cores = 16
+			cfg.Hierarchy = h
+
+			run := func(domains int) (uint64, chip.Metrics) {
+				c := chip.NewSharded(cfg, w, domains)
+				c.PrewarmCaches()
+				c.Warmup(confQ.Warmup)
+				c.Run(confQ.Window)
+				return c.StateHash(), c.Metrics()
+			}
+			hr, mr := run(1)
+			hs, msh := run(4)
+			if hr != hs {
+				t.Fatalf("state hash diverged: single %#x sharded %#x", hr, hs)
+			}
+			if !reflect.DeepEqual(mr, msh) {
+				t.Fatalf("metrics diverged:\nsingle  %+v\nsharded %+v", mr, msh)
+			}
+		})
+	}
+}
+
+// TestShardedDomainCountProperty is the domain-count invariance property:
+// for the paper's two primary organizations at two core counts, every
+// domain count in {1, 2, 4, 8} produces the same state hash and Metrics,
+// and repeating a run reproduces it exactly — under -race this also
+// proves the domain goroutines share no unsynchronized state.
+func TestShardedDomainCountProperty(t *testing.T) {
+	w, err := workload.Parse("MapReduce-C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []Design{Mesh, NOCOut} {
+		for _, cores := range []int{16, 64} {
+			d, cores := d, cores
+			t.Run(fmt.Sprintf("%s/%dcores", d, cores), func(t *testing.T) {
+				t.Parallel()
+				cfg := DefaultConfig(d)
+				cfg.Cores = cores
+
+				run := func(domains int) (uint64, chip.Metrics) {
+					c := chip.NewSharded(cfg, w, domains)
+					c.PrewarmCaches()
+					c.Warmup(confQ.Warmup)
+					c.Run(confQ.Window)
+					return c.StateHash(), c.Metrics()
+				}
+				refH, refM := run(1)
+				for _, domains := range []int{1, 2, 4, 8} {
+					gotH, gotM := run(domains)
+					if gotH != refH {
+						t.Fatalf("%d domains: state hash %#x, want %#x", domains, gotH, refH)
+					}
+					if !reflect.DeepEqual(gotM, refM) {
+						t.Fatalf("%d domains: metrics diverged:\n1 domain  %+v\n%d domains %+v",
+							domains, refM, domains, gotM)
+					}
+					againH, _ := run(domains)
+					if againH != gotH {
+						t.Fatalf("%d domains: nondeterministic across runs: %#x then %#x",
+							domains, gotH, againH)
+					}
+				}
+			})
+		}
+	}
+}
