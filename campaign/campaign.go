@@ -38,6 +38,7 @@ import (
 	"slices"
 
 	"nocout"
+	"nocout/internal/cas"
 )
 
 // ManifestVersion is the manifest schema version ReadManifest accepts.
@@ -196,7 +197,7 @@ func Create(dir string, sw nocout.Sweep) (*Campaign, error) {
 			return nil, fmt.Errorf("campaign: point %d (%s) rehydrates to a different identity (%s, want %s); pass the workload by registered name or trace:<path> spec so other workers reconstruct the same workload", i, &sw.Points[i], k, keys[i])
 		}
 	}
-	if err := writeFileAtomic(manifestPath(dir), data); err != nil {
+	if err := cas.WriteFileAtomic(manifestPath(dir), data); err != nil {
 		return nil, err
 	}
 	return &Campaign{dir: dir, man: man, sw: sw}, nil

@@ -443,3 +443,62 @@ func TestDirStoreSelfHealing(t *testing.T) {
 		t.Fatal("healed campaign merged differently")
 	}
 }
+
+// TestCampaignCheckpoints: a campaign worked through the warm-state
+// checkpoint cache merges to a Report byte-identical to a plain run, and
+// the cache directory ends up holding one checkpoint per prefix.
+func TestCampaignCheckpoints(t *testing.T) {
+	sw, err := nocout.NewExperiment(
+		nocout.WithTitle("checkpointed campaign"),
+		nocout.WithDesigns(nocout.Mesh),
+		nocout.WithWorkloads("SAT Solver", "Data Serving"),
+		nocout.WithCoreCounts(8),
+		nocout.WithQuality(nocout.Quality{Warmup: 2000, Window: 2500, Seeds: 1}),
+	).Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plain, err := (&nocout.Runner{}).Run(context.Background(), sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := reportJSON(t, plain)
+
+	ckDir := t.TempDir()
+	c, err := campaign.Create(t.TempDir(), sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Work(context.Background(), campaign.Options{Owner: "a", CheckpointDir: ckDir}); err != nil {
+		t.Fatal(err)
+	}
+	if got := reportJSON(t, mustMerge(t, c)); !bytes.Equal(got, want) {
+		t.Fatal("checkpointed campaign merged differently from the plain run")
+	}
+
+	st, err := nocout.NewCheckpointStore(ckDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	infos, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != sw.Len() {
+		t.Fatalf("checkpoint cache holds %d entries, want one per point (%d)", len(infos), sw.Len())
+	}
+
+	// A recomputing second worker restores every prefix instead of
+	// re-warming: the cache survives across campaigns.
+	c2, err := campaign.Create(t.TempDir(), sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Work(context.Background(), campaign.Options{Owner: "b", CheckpointDir: ckDir}); err != nil {
+		t.Fatal(err)
+	}
+	if got := reportJSON(t, mustMerge(t, c2)); !bytes.Equal(got, want) {
+		t.Fatal("second checkpointed campaign merged differently")
+	}
+}

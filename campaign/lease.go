@@ -1,27 +1,19 @@
 package campaign
 
 import (
-	"encoding/json"
-	"fmt"
-	"os"
-	"path/filepath"
-	"strconv"
 	"time"
+
+	"nocout"
+	"nocout/internal/cas"
 )
 
 // Leaser partitions a campaign's points across worker processes with
-// per-key claim files in a shared directory. The two primitives are both
-// atomic on a local filesystem:
-//
-//   - acquire: O_CREATE|O_EXCL — exactly one process creates the claim;
-//   - steal:   rename of an expired claim — exactly one process wins the
-//     rename, removes the stale file, and retries the exclusive create.
-//
-// A claim expires TTL after acquisition (there is no heartbeat — set TTL
-// comfortably above the longest single point). Leasing is purely an
-// anti-duplication optimization: points are deterministic and the store
-// is idempotent, so the worst case of any race is two workers computing
-// the same point and storing identical results.
+// per-key claim files in a shared directory, delegating to the shared
+// cas lease protocol (O_CREATE|O_EXCL claims, rename-arbitrated steal of
+// expired claims). Leasing is purely an anti-duplication optimization:
+// points are deterministic and the store is idempotent, so the worst
+// case of any race is two workers computing the same point and storing
+// identical results.
 type Leaser struct {
 	// Dir is the shared lease directory (the campaign's leases/).
 	Dir string
@@ -36,93 +28,15 @@ type Leaser struct {
 // DefaultTTL is the claim lifetime when Leaser.TTL is zero: long enough
 // for any Full-quality point, short enough that a crashed worker's
 // points are reclaimed within a coffee break.
-const DefaultTTL = 10 * time.Minute
+const DefaultTTL = cas.DefaultTTL
 
 // DefaultOwner returns this process's default lease identity.
-func DefaultOwner() string {
-	host, err := os.Hostname()
-	if err != nil || host == "" {
-		host = "worker"
-	}
-	return host + "-" + strconv.Itoa(os.Getpid())
-}
-
-// claim is the JSON body of a lease file.
-type claim struct {
-	Owner   string `json:"owner"`
-	Expires int64  `json:"expires_unix_nano"`
-}
+func DefaultOwner() string { return cas.DefaultOwner() }
 
 // Acquire claims key for this worker. ok=false means another worker
 // holds a live claim (or won a racing steal); release removes the claim
 // and must be called once the point's result is stored.
 func (l *Leaser) Acquire(key string) (release func(), ok bool, err error) {
-	if !ValidKey(key) {
-		return nil, false, fmt.Errorf("campaign: invalid point key %.80q", key)
-	}
-	ttl := l.TTL
-	if ttl <= 0 {
-		ttl = DefaultTTL
-	}
-	path := filepath.Join(l.Dir, key+".lease")
-	// Two attempts: the first may find an expired claim and steal it;
-	// the second then races the exclusive create. Losing both means
-	// another live worker owns the point this pass.
-	for attempt := 0; attempt < 2; attempt++ {
-		f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
-		if err == nil {
-			body, merr := json.Marshal(claim{Owner: l.Owner, Expires: time.Now().Add(ttl).UnixNano()})
-			if merr == nil {
-				_, merr = f.Write(body)
-			}
-			if cerr := f.Close(); merr == nil {
-				merr = cerr
-			}
-			if merr != nil {
-				os.Remove(path)
-				return nil, false, merr
-			}
-			return func() { l.release(path) }, true, nil
-		}
-		if !os.IsExist(err) {
-			return nil, false, err
-		}
-		body, rerr := os.ReadFile(path)
-		if rerr != nil {
-			if os.IsNotExist(rerr) {
-				continue // released between create and read; retry create
-			}
-			return nil, false, rerr
-		}
-		var cl claim
-		if json.Unmarshal(body, &cl) == nil && time.Now().UnixNano() < cl.Expires {
-			return nil, false, nil // live claim held elsewhere
-		}
-		// Expired (or corrupt) claim: steal it. Rename is the arbiter —
-		// one stealer wins, everyone else sees ENOENT and falls back to
-		// racing the fresh exclusive create.
-		stale := path + ".stale." + l.Owner + "." + strconv.FormatInt(time.Now().UnixNano(), 36)
-		if rerr := os.Rename(path, stale); rerr != nil {
-			if os.IsNotExist(rerr) {
-				continue
-			}
-			return nil, false, rerr
-		}
-		os.Remove(stale)
-	}
-	return nil, false, nil
-}
-
-// release removes our claim, if it is still ours: an expired claim may
-// have been stolen and re-issued to another worker, whose file must
-// survive. Best-effort — expiry is the backstop for anything missed.
-func (l *Leaser) release(path string) {
-	body, err := os.ReadFile(path)
-	if err != nil {
-		return
-	}
-	var cl claim
-	if json.Unmarshal(body, &cl) == nil && cl.Owner == l.Owner {
-		os.Remove(path)
-	}
+	cl := cas.Leaser{Dir: l.Dir, Owner: l.Owner, TTL: l.TTL, KeyPrefix: nocout.KeyVersion + "-"}
+	return cl.Acquire(key)
 }

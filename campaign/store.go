@@ -6,9 +6,9 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"strings"
 
 	"nocout"
+	"nocout/internal/cas"
 )
 
 // EntryVersion is the cache-entry schema version ReadEntry accepts.
@@ -33,16 +33,7 @@ type Entry struct {
 // lease filenames derive from keys, so this is also the path-safety
 // check.
 func ValidKey(s string) bool {
-	prefix := nocout.KeyVersion + "-"
-	if len(s) != len(prefix)+64 || !strings.HasPrefix(s, prefix) {
-		return false
-	}
-	for _, c := range s[len(prefix):] {
-		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
-			return false
-		}
-	}
-	return true
+	return cas.ValidKey(nocout.KeyVersion+"-", s)
 }
 
 // ReadEntry decodes and validates one cache entry, holding the
@@ -126,30 +117,5 @@ func (s *DirStore) Put(key string, pr nocout.PointResult, q nocout.Quality) erro
 	if err != nil {
 		return err
 	}
-	return writeFileAtomic(s.path(key), data)
-}
-
-// writeFileAtomic writes data to path via a same-directory temp file and
-// rename, so readers never observe a partial entry and concurrent
-// writers of identical content are safe.
-func writeFileAtomic(path string, data []byte) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".tmp-*")
-	if err != nil {
-		return err
-	}
-	_, werr := tmp.Write(data)
-	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
-		os.Remove(tmp.Name())
-		if werr != nil {
-			return werr
-		}
-		return cerr
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return nil
+	return cas.WriteFileAtomic(s.path(key), data)
 }

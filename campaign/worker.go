@@ -28,8 +28,21 @@ type Options struct {
 	// (presumed crashed) owner's points; <= 0 means DefaultTTL.
 	LeaseTTL time.Duration
 	// Recompute ignores existing cache entries once per key — the
-	// re-run override policy — recomputing and overwriting them.
+	// re-run override policy — recomputing and overwriting them. It
+	// extends to the checkpoint cache: with CheckpointDir set, warm
+	// states are re-produced and overwritten too.
 	Recompute bool
+	// CheckpointDir, when non-empty, serves each point's warm state from
+	// the content-addressed checkpoint cache rooted there
+	// (nocout.CheckpointStore): points sharing a measurement prefix warm
+	// up once per campaign instead of once per point, and cooperating
+	// workers race to produce each prefix exactly once. Results are
+	// byte-identical with or without it.
+	CheckpointDir string
+	// RecomputeCheckpoints re-produces warm states while keeping cached
+	// results — the narrower override for a checkpoint cache under
+	// suspicion. Recompute implies it.
+	RecomputeCheckpoints bool
 	// FailFast restores the Runner's abort-on-first-error contract.
 	// The default (false) records a broken point's error in the store
 	// and keeps going: one bad point must not kill a thousand-point
@@ -78,6 +91,15 @@ func (c *Campaign) Work(ctx context.Context, opts Options) (Stats, error) {
 	if delay <= 0 {
 		delay = 500 * time.Millisecond
 	}
+	var ckpts *nocout.CheckpointStore
+	if opts.CheckpointDir != "" {
+		st, err := nocout.NewCheckpointStore(opts.CheckpointDir)
+		if err != nil {
+			return Stats{Points: c.sw.Len()}, err
+		}
+		st.Recompute = opts.Recompute || opts.RecomputeCheckpoints
+		ckpts = st
+	}
 
 	// The Runner re-reports cached points on every pass; the user's
 	// Progress sees each point exactly once, with a campaign-wide count.
@@ -107,11 +129,12 @@ func (c *Campaign) Work(ctx context.Context, opts Options) (Stats, error) {
 	stats := Stats{Points: sw.Len()}
 	for {
 		rn := &nocout.Runner{
-			Workers:   opts.Workers,
-			KeepGoing: !opts.FailFast,
-			Cache:     cache,
-			Lease:     leaserAdapter{leaser, c.man.Quality},
-			Progress:  progress,
+			Workers:     opts.Workers,
+			KeepGoing:   !opts.FailFast,
+			Cache:       cache,
+			Lease:       leaserAdapter{leaser, c.man.Quality},
+			Progress:    progress,
+			Checkpoints: ckpts,
 		}
 		rep, err := rn.Run(ctx, sw)
 		stats.Passes++

@@ -1,0 +1,209 @@
+package nocout
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"nocout/internal/chip"
+	"nocout/internal/sim"
+	"nocout/internal/workload"
+)
+
+// This file is the checkpoint subsystem's correctness oracle: a chip
+// restored from a post-warmup snapshot must be indistinguishable from the
+// donor — StateHash-equal at the snapshot cycle, then cycle-for-cycle
+// bit-identical through the measurement window, for every registered
+// design, every hierarchy, and any domain count on either side of the
+// snapshot. It is the same discipline the kernel conformance suites apply
+// to scheduled-vs-naive and sharded-vs-scheduled, extended across a
+// serialize/deserialize boundary.
+
+// warmSnapshot builds a chip, warms it like Run does, snapshots it, and
+// returns the donor (still runnable) plus the container bytes and the
+// donor's state hash at the snapshot cycle.
+func warmSnapshot(t *testing.T, cfg Config, w workload.Workload, domains int, warmup sim.Cycle) (*chip.Chip, []byte, uint64) {
+	t.Helper()
+	c := chip.NewSharded(cfg, w, domains)
+	c.PrewarmCaches()
+	c.Warmup(warmup)
+	var buf bytes.Buffer
+	if err := c.Snapshot(&buf); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	return c, buf.Bytes(), c.StateHash()
+}
+
+// verifyRestore restores the snapshot under the given domain count and
+// checks hash equality at the snapshot cycle, then lockstep bit-identity
+// against the donor through window cycles, then final Metrics.
+func verifyRestore(t *testing.T, donor *chip.Chip, snap []byte, cfg Config, w workload.Workload, domains int, window sim.Cycle) {
+	t.Helper()
+	r, err := chip.Restore(cfg, w, domains, bytes.NewReader(snap))
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if hd, hr := donor.StateHash(), r.StateHash(); hd != hr {
+		t.Fatalf("restored hash %#x != donor hash %#x at snapshot cycle %d", hr, hd, donor.NowCycle())
+	}
+	for cy := sim.Cycle(1); cy <= window; cy++ {
+		donor.Run(1)
+		r.Run(1)
+		if hd, hr := donor.StateHash(), r.StateHash(); hd != hr {
+			t.Fatalf("state hash diverged %d cycles after restore: donor %#x restored %#x", cy, hd, hr)
+		}
+	}
+	md, mr := donor.Metrics(), r.Metrics()
+	if !reflect.DeepEqual(md, mr) {
+		t.Fatalf("metrics diverged:\ndonor    %+v\nrestored %+v", md, mr)
+	}
+}
+
+// TestCheckpointDesignConformance: every registered design at 16 and 64
+// cores — snapshot after warmup, restore, and demand bit-identity through
+// the measurement window.
+func TestCheckpointDesignConformance(t *testing.T) {
+	w, err := workload.Parse("MapReduce-C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range Designs() {
+		d := d
+		t.Run(d.String(), func(t *testing.T) {
+			t.Parallel()
+			for _, n := range []int{16, 64} {
+				cfg := DefaultConfig(d)
+				cfg.Cores = n
+				donor, snap, _ := warmSnapshot(t, cfg, w, 1, confQ.Warmup)
+				verifyRestore(t, donor, snap, cfg, w, 1, confQ.Window)
+			}
+		})
+	}
+}
+
+// TestCheckpointHierarchyConformance: every registered memory hierarchy
+// under the same snapshot/restore bit-identity contract.
+func TestCheckpointHierarchyConformance(t *testing.T) {
+	w, err := workload.Parse("Web Search")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range Hierarchies() {
+		h := h
+		t.Run(h.String(), func(t *testing.T) {
+			t.Parallel()
+			for _, n := range []int{16, 64} {
+				cfg := DefaultConfig(Mesh)
+				cfg.Cores = n
+				cfg.Hierarchy = h
+				donor, snap, _ := warmSnapshot(t, cfg, w, 1, confQ.Warmup)
+				verifyRestore(t, donor, snap, cfg, w, 1, confQ.Window)
+			}
+		})
+	}
+}
+
+// TestCheckpointShardedConformance: checkpoints are domain-count-agnostic.
+// A snapshot taken under one sim-parallelism setting restores bit-identically
+// under every other, on both a router-network design and NOC-Out.
+func TestCheckpointShardedConformance(t *testing.T) {
+	w, err := workload.Parse("Data Serving")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []Design{Mesh, NOCOut} {
+		d := d
+		t.Run(d.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := DefaultConfig(d)
+			cfg.Cores = 16
+			for _, snapDomains := range []int{1, 4} {
+				donor, snap, snapHash := warmSnapshot(t, cfg, w, snapDomains, confQ.Warmup)
+				donor.Run(confQ.Window)
+				endHash, endMetrics := donor.StateHash(), donor.Metrics()
+				for _, domains := range []int{1, 2, 4, 8} {
+					r, err := chip.Restore(cfg, w, domains, bytes.NewReader(snap))
+					if err != nil {
+						t.Fatalf("restore into %d domains: %v", domains, err)
+					}
+					if hr := r.StateHash(); hr != snapHash {
+						t.Fatalf("snap@%d restore@%d: hash %#x != donor %#x", snapDomains, domains, hr, snapHash)
+					}
+					r.Run(confQ.Window)
+					if hr := r.StateHash(); hr != endHash {
+						t.Fatalf("snap@%d restore@%d: end hash %#x != donor %#x", snapDomains, domains, hr, endHash)
+					}
+					if mr := r.Metrics(); !reflect.DeepEqual(endMetrics, mr) {
+						t.Fatalf("snap@%d restore@%d: metrics diverged:\ndonor    %+v\nrestored %+v", snapDomains, domains, endMetrics, mr)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCheckpointOpenSystemConformance: the open-system request lifecycle
+// (arrival RNG position, in-flight requests, queue) survives the
+// snapshot boundary bit-identically.
+func TestCheckpointOpenSystemConformance(t *testing.T) {
+	w, err := workload.Parse("opensys:arrival=mmpp,base=web-search,rate=4,size=256,queue=64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(Mesh)
+	cfg.Cores = 16
+	donor, snap, _ := warmSnapshot(t, cfg, w, 1, confQ.Warmup)
+	verifyRestore(t, donor, snap, cfg, w, 1, confQ.Window)
+}
+
+// TestCheckpointRejectsMismatchedSystem: a snapshot only restores into the
+// exact system it was taken on.
+func TestCheckpointRejectsMismatchedSystem(t *testing.T) {
+	w, err := workload.Parse("MapReduce-C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(Mesh)
+	cfg.Cores = 16
+	_, snap, _ := warmSnapshot(t, cfg, w, 1, 500)
+
+	bad := cfg
+	bad.Cores = 32
+	if _, err := chip.Restore(bad, w, 1, bytes.NewReader(snap)); err == nil {
+		t.Fatal("restore into a 32-core chip from a 16-core snapshot must fail")
+	}
+	bad = cfg
+	bad.Seed++
+	if _, err := chip.Restore(bad, w, 1, bytes.NewReader(snap)); err == nil {
+		t.Fatal("restore under a different seed must fail")
+	}
+	bad = DefaultConfig(FBfly)
+	bad.Cores = 16
+	if _, err := chip.Restore(bad, w, 1, bytes.NewReader(snap)); err == nil {
+		t.Fatal("restore into a different design must fail")
+	}
+}
+
+// TestCheckpointTruncationRejected: every strict prefix of a valid
+// container must fail to restore with an error, never a panic.
+func TestCheckpointTruncationRejected(t *testing.T) {
+	w, err := workload.Parse("MapReduce-C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(Mesh)
+	cfg.Cores = 16
+	_, snap, _ := warmSnapshot(t, cfg, w, 1, 500)
+
+	for _, cut := range []int{0, 1, 4, len(snap) / 2, len(snap) - 1} {
+		if _, err := chip.Restore(cfg, w, 1, bytes.NewReader(snap[:cut])); err == nil {
+			t.Fatalf("truncation to %d bytes restored successfully", cut)
+		}
+	}
+	// A flipped payload byte must be caught by the section CRC.
+	corrupt := append([]byte(nil), snap...)
+	corrupt[len(corrupt)/2] ^= 0x40
+	if _, err := chip.Restore(cfg, w, 1, bytes.NewReader(corrupt)); err == nil {
+		t.Fatal("corrupted snapshot restored successfully")
+	}
+}

@@ -21,6 +21,8 @@
 //	nocout -designs mesh,nocout -workloads websearch,mix -campaign camp/
 //	nocout -campaign camp/                    # resume / join as another worker
 //	nocout -campaign-merge camp/ -json        # assemble the final report
+//	nocout -designs mesh,nocout -workload websearch -checkpoint-dir warm/
+//	nocout -checkpoint-dir warm/ -list-checkpoints
 //	nocout -list
 //
 // A -campaign run is resumable: every completed point is stored in the
@@ -87,6 +89,9 @@ func run() error {
 	campaignWorker := flag.String("campaign-worker", "", "lease owner identity for -campaign (default hostname-pid; must be unique per worker)")
 	leaseTTL := flag.Duration("lease-ttl", 0, "campaign lease lifetime before a crashed worker's points are stolen (default 10m)")
 	recompute := flag.Bool("recompute", false, "with -campaign, ignore cached results once and recompute them")
+	checkpointDir := flag.String("checkpoint-dir", "", "cache warm state in this directory: points sharing a measurement prefix warm up once and restore bit-identically (see EXPERIMENTS.md)")
+	recomputeCkpts := flag.Bool("recompute-checkpoints", false, "with -checkpoint-dir, ignore stored warm states and re-produce them")
+	listCkpts := flag.Bool("list-checkpoints", false, "with -checkpoint-dir, list the stored checkpoints and exit")
 	keepGoing := flag.Bool("keep-going", false, "record per-point errors in the report instead of aborting the sweep on the first failure")
 	simParallel := flag.Int("sim-parallel", 1, "shard each simulation across N concurrently stepping tile-group domains; results are bit-identical for any N (see EXPERIMENTS.md)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (pprof evidence for perf PRs)")
@@ -177,6 +182,33 @@ func run() error {
 			return rep.WriteCSV(os.Stdout)
 		}
 		fmt.Println(rep.Table())
+		return nil
+	}
+
+	// Listing checkpoints inspects container metadata only — no workload
+	// or design resolution either.
+	if *listCkpts {
+		if *checkpointDir == "" {
+			return fmt.Errorf("-list-checkpoints requires -checkpoint-dir")
+		}
+		st, err := nocout.NewCheckpointStore(*checkpointDir)
+		if err != nil {
+			return err
+		}
+		infos, err := st.List()
+		if err != nil {
+			return err
+		}
+		for _, ci := range infos {
+			d, derr := nocout.OrganizationOf(ci.Info.Design)
+			dname := "?"
+			if derr == nil {
+				dname = d.Name()
+			}
+			fmt.Printf("%s  %8d bytes  %-14s %-12v %3d cores (%d active)  seed %-6d cycle %d\n",
+				ci.Key, ci.Bytes, dname, ci.Info.Hierarchy, ci.Info.Cores, ci.Info.Active, ci.Info.Seed, ci.Info.Cycle)
+		}
+		fmt.Printf("%d checkpoints in %s\n", len(infos), *checkpointDir)
 		return nil
 	}
 
@@ -317,11 +349,23 @@ func run() error {
 
 	if *campaignDir != "" {
 		return runCampaign(ctx, *campaignDir, exp, campaign.Options{
-			Owner:          *campaignWorker,
-			LeaseTTL:       *leaseTTL,
-			Recompute:      *recompute,
-			SimParallelism: *simParallel,
+			Owner:                *campaignWorker,
+			LeaseTTL:             *leaseTTL,
+			Recompute:            *recompute,
+			SimParallelism:       *simParallel,
+			CheckpointDir:        *checkpointDir,
+			RecomputeCheckpoints: *recomputeCkpts,
 		}, *jsonOut, *csvOut)
+	}
+
+	var ckpts *nocout.CheckpointStore
+	if *checkpointDir != "" {
+		st, err := nocout.NewCheckpointStore(*checkpointDir)
+		if err != nil {
+			return err
+		}
+		st.Recompute = *recomputeCkpts
+		ckpts = st
 	}
 
 	var rep *nocout.Report
@@ -332,13 +376,16 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		rep, err = (&nocout.Runner{KeepGoing: true}).Run(ctx, sw)
+		rep, err = (&nocout.Runner{KeepGoing: true, Checkpoints: ckpts}).Run(ctx, sw)
 		if err != nil {
 			return err
 		}
 	} else {
-		var err error
-		rep, err = exp.Run(ctx)
+		sw, err := exp.Sweep()
+		if err != nil {
+			return err
+		}
+		rep, err = (&nocout.Runner{Checkpoints: ckpts}).Run(ctx, sw)
 		if err != nil {
 			return err
 		}

@@ -107,6 +107,7 @@ type Experiment struct {
 	unlimited    bool
 	simDomains   int
 	configure    func(*Config, Point)
+	ckptDir      string
 }
 
 // Option configures an Experiment.
@@ -197,6 +198,16 @@ func WithHierarchies(hs ...HierarchyID) Option {
 // single-goroutine kernel.
 func WithSimParallelism(n int) Option {
 	return func(e *Experiment) { e.simDomains = n }
+}
+
+// WithCheckpoints caches warm state in the checkpoint store at dir:
+// points sharing a measurement prefix (same system, seed, workload, and
+// warmup — see Point.PrefixKey) run warmup once, snapshot, and restore
+// everywhere else, bit-identically. The Report is byte-identical with or
+// without the cache; only wall-clock time changes. Multi-window sweeps
+// and re-runs of the same experiment are the big winners.
+func WithCheckpoints(dir string) Option {
+	return func(e *Experiment) { e.ckptDir = dir }
 }
 
 // WithQuality sets the simulation effort (default Quick).
@@ -387,5 +398,13 @@ func (e *Experiment) Run(ctx context.Context) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	return (&Runner{}).Run(ctx, sw)
+	rn := &Runner{}
+	if e.ckptDir != "" {
+		st, err := NewCheckpointStore(e.ckptDir)
+		if err != nil {
+			return nil, err
+		}
+		rn.Checkpoints = st
+	}
+	return rn.Run(ctx, sw)
 }

@@ -1,0 +1,91 @@
+package cache
+
+import (
+	"sort"
+
+	"nocout/internal/ckpt"
+)
+
+// Checkpoint serialization of the storage arrays. Geometry (sets, ways,
+// hashing) is structural — the restoring chip rebuilds it from config —
+// so only the occupancy is serialized: tags, valid bits, LRU stamps, and
+// the LRU clock. Tag and age arrays are delta-encoded (Enc.U64s): tags
+// within a set share high bits and age stamps are globally clustered, so
+// warm arrays serialize at a few bytes per line.
+
+// SaveState implements ckpt.Saver.
+func (a *Array) SaveState(e *ckpt.Enc) {
+	e.U64s(a.tags)
+	e.Bools(a.valid)
+	e.U64s(a.age)
+	e.U64(a.clock)
+}
+
+// LoadState implements ckpt.Loader. The array must have been built with
+// the donor's geometry; a mismatched line count is corruption.
+func (a *Array) LoadState(d *ckpt.Dec) {
+	tags := d.U64s()
+	valid := d.Bools()
+	age := d.U64s()
+	clock := d.U64()
+	if d.Err() != nil {
+		return
+	}
+	if len(tags) != len(a.tags) || len(valid) != len(a.valid) || len(age) != len(a.age) {
+		d.Corrupt("cache array geometry mismatch: stored %d/%d/%d lines, built %d", len(tags), len(valid), len(age), len(a.tags))
+		return
+	}
+	copy(a.tags, tags)
+	copy(a.valid, valid)
+	copy(a.age, age)
+	a.clock = clock
+}
+
+// SaveState implements ckpt.Saver: outstanding misses in ascending line
+// order, so the encoding is independent of map iteration order.
+func (f *MSHRFile) SaveState(e *ckpt.Enc) {
+	lines := make([]uint64, 0, len(f.m))
+	for line := range f.m {
+		lines = append(lines, line)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	e.U64(uint64(len(lines)))
+	for _, line := range lines {
+		m := f.m[line]
+		e.U64(line)
+		e.Bool(m.IsWrite)
+		e.Bool(m.Instr)
+		e.Bool(m.Issued)
+		e.Bool(m.Squashed)
+		e.Int(m.Waiters)
+	}
+}
+
+// LoadState implements ckpt.Loader. Capacity is structural; a stored
+// occupancy beyond it is corruption.
+func (f *MSHRFile) LoadState(d *ckpt.Dec) {
+	n := d.Count()
+	if d.Err() != nil {
+		return
+	}
+	if n > f.cap {
+		d.Corrupt("MSHR occupancy %d exceeds capacity %d", n, f.cap)
+		return
+	}
+	clear(f.m)
+	for i := 0; i < n && d.Err() == nil; i++ {
+		m := &MSHR{
+			Line:     d.U64(),
+			IsWrite:  d.Bool(),
+			Instr:    d.Bool(),
+			Issued:   d.Bool(),
+			Squashed: d.Bool(),
+		}
+		m.Waiters = d.Int()
+		if _, dup := f.m[m.Line]; dup {
+			d.Corrupt("duplicate MSHR line %#x", m.Line)
+			return
+		}
+		f.m[m.Line] = m
+	}
+}

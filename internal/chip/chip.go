@@ -388,6 +388,14 @@ func (c *Chip) Warmup(n sim.Cycle) {
 	// Sleeping components account stall/utilization counters lazily; settle
 	// them against the warm-up before zeroing.
 	c.FlushAll()
+	c.resetMeasurementStats()
+}
+
+// resetMeasurementStats zeroes every measurement counter, defining the
+// measurement boundary. Warmup and the checkpoint-restore path share it,
+// so post-restore counter state cannot drift from the warmup path. Lazy
+// accounting must be settled (FlushAll) before the call.
+func (c *Chip) resetMeasurementStats() {
 	for _, co := range c.Cores {
 		co.ResetStats()
 	}

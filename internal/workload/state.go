@@ -1,0 +1,99 @@
+package workload
+
+import "nocout/internal/ckpt"
+
+// Checkpoint serialization of the stream cursors. A stream's identity
+// (its Params, trace, or capture) is structural — the restoring chip
+// rebuilds streams from the workload spec — so only the position state
+// travels: program counter, run/phase countdowns, the recent-jump set,
+// replay indices, and RNG positions.
+
+// SaveState implements ckpt.Saver.
+func (g *Generator) SaveState(e *ckpt.Enc) {
+	e.U64(g.pc)
+	e.Int(g.runLeft)
+	e.U64s(g.recent)
+	e.Int(g.rIdx)
+	e.U64(g.rng.State())
+}
+
+// LoadState implements ckpt.Loader.
+func (g *Generator) LoadState(d *ckpt.Dec) {
+	g.pc = d.U64()
+	g.runLeft = d.Int()
+	recent := d.U64s()
+	rIdx := d.Int()
+	if d.Err() != nil {
+		return
+	}
+	if len(recent) > cap(g.recent) {
+		d.Corrupt("recent-jump set of %d exceeds capacity %d", len(recent), cap(g.recent))
+		return
+	}
+	if rIdx < 0 || (len(recent) > 0 && rIdx >= cap(g.recent)) || (len(recent) == 0 && rIdx != 0) {
+		d.Corrupt("recent-jump index %d out of range", rIdx)
+		return
+	}
+	g.recent = append(g.recent[:0], recent...)
+	g.rIdx = rIdx
+	g.rng.SetState(d.U64())
+}
+
+// SaveState implements ckpt.Saver.
+func (s *phasedStream) SaveState(e *ckpt.Enc) {
+	e.Int(s.idx)
+	e.Int(s.left)
+	for _, g := range s.gens {
+		g.SaveState(e)
+	}
+}
+
+// LoadState implements ckpt.Loader.
+func (s *phasedStream) LoadState(d *ckpt.Dec) {
+	idx := d.Int()
+	left := d.Int()
+	if d.Err() != nil {
+		return
+	}
+	if idx < 0 || idx >= len(s.gens) || left < 0 {
+		d.Corrupt("phase cursor %d/%d out of range (%d phases)", idx, left, len(s.gens))
+		return
+	}
+	s.idx = idx
+	s.left = left
+	for _, g := range s.gens {
+		g.LoadState(d)
+	}
+}
+
+// SaveState implements ckpt.Saver.
+func (r *replay) SaveState(e *ckpt.Enc) { e.Int(r.i) }
+
+// LoadState implements ckpt.Loader.
+func (r *replay) LoadState(d *ckpt.Dec) {
+	i := d.Int()
+	if d.Err() != nil {
+		return
+	}
+	if i < 0 || i >= len(r.t.Instrs) {
+		d.Corrupt("trace cursor %d out of range (%d instructions)", i, len(r.t.Instrs))
+		return
+	}
+	r.i = i
+}
+
+// SaveState implements ckpt.Saver.
+func (r *coreReplay) SaveState(e *ckpt.Enc) { e.Int(r.i) }
+
+// LoadState implements ckpt.Loader.
+func (r *coreReplay) LoadState(d *ckpt.Dec) {
+	i := d.Int()
+	if d.Err() != nil {
+		return
+	}
+	if i < 0 || i >= len(r.instrs) {
+		d.Corrupt("capture cursor %d out of range (%d instructions)", i, len(r.instrs))
+		return
+	}
+	r.i = i
+}

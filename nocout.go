@@ -274,7 +274,7 @@ func RunUnlimited(cfg Config, workloadName string, q Quality) (Result, error) {
 // a constructed Mix or Phased schedule, a loaded Capture, or any user
 // implementation.
 func RunWorkload(cfg Config, w Workload, q Quality) Result {
-	res, _ := runSeeds(context.Background(), cfg, w, q, 1)
+	res, _ := runSeeds(context.Background(), cfg, w, q, 1, nil)
 	return res
 }
 
@@ -369,7 +369,7 @@ func (s *slotSem) release(n int) {
 // first such panic is re-raised on the caller's goroutine, so it stays a
 // recoverable hard error — Runner.Run converts it into a returned error
 // — instead of killing the process from a goroutine nobody can recover.
-func runSeeds(ctx context.Context, cfg Config, w workload.Workload, q Quality, domains int) (Result, bool) {
+func runSeeds(ctx context.Context, cfg Config, w workload.Workload, q Quality, domains int, ck *CheckpointStore) (Result, bool) {
 	if q.Seeds < 1 {
 		q.Seeds = 1
 	}
@@ -411,10 +411,18 @@ func runSeeds(ctx context.Context, cfg Config, w workload.Workload, q Quality, d
 				return
 			}
 			scfg := cfg
-			scfg.Seed = base + uint64(s)*7919
-			c := chip.NewSharded(scfg, w, domains)
-			c.PrewarmCaches()
-			c.Warmup(q.Warmup)
+			scfg.Seed = base + uint64(s)*seedStride
+			// The warm state either restores from the checkpoint cache or
+			// is built the ordinary way; both paths land at the same
+			// measurement boundary, bit-identically (the checkpoint
+			// conformance suite enforces it), so the Result cannot depend
+			// on which one ran.
+			var c *chip.Chip
+			if ck != nil {
+				c = ck.chipFor(scfg, w, domains, q.Warmup)
+			} else {
+				c = warmChip(scfg, w, domains, q.Warmup)
+			}
 			c.Run(q.Window)
 			m := c.Metrics()
 			o := &outs[s]

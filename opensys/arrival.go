@@ -27,10 +27,14 @@ import (
 
 // modulator is a piecewise-constant rate multiplier: mult applies for
 // left more cycles, then advance picks the next piece. A left of +Inf
-// never advances (the constant modulator).
+// never advances (the constant modulator). All discrete process state
+// lives in the phase field — advance closures capture only immutable
+// parameters — so (mult, left, phase) plus the RNG position is the
+// complete checkpointable state of any modulator.
 type modulator struct {
 	mult    float64
 	left    float64
+	phase   int // process-specific discrete state (MMPP hi/lo, ON/OFF, diurnal index)
 	advance func(m *modulator)
 }
 
@@ -133,15 +137,19 @@ func newMMPP(cfg Config, rng *sim.RNG) *modulator {
 	hi := rng.Bool(cfg.DwellHi / (cfg.DwellHi + cfg.DwellLo))
 	m := &modulator{}
 	m.advance = func(m *modulator) {
-		hi = !hi
-		if hi {
+		m.phase ^= 1
+		if m.phase == 1 {
 			m.mult, m.left = hiMult, -math.Log1p(-rng.Float64())*cfg.DwellHi
 		} else {
 			m.mult, m.left = loMult, -math.Log1p(-rng.Float64())*cfg.DwellLo
 		}
 	}
-	// Materialize the drawn initial state (advance toggles back into it).
-	hi = !hi
+	// Materialize the drawn initial state (advance toggles into it).
+	if hi {
+		m.phase = 0
+	} else {
+		m.phase = 1
+	}
 	m.advance(m)
 	return m
 }
@@ -175,15 +183,19 @@ func newBurst(cfg Config, rng *sim.RNG) *modulator {
 	on := rng.Bool(0.5)
 	m := &modulator{}
 	m.advance = func(m *modulator) {
-		on = !on
-		if on {
+		m.phase ^= 1
+		if m.phase == 1 {
 			m.mult = cfg.Peak
 		} else {
 			m.mult = 2 - cfg.Peak
 		}
 		m.left = pareto()
 	}
-	on = !on
+	if on {
+		m.phase = 0
+	} else {
+		m.phase = 1
+	}
 	m.advance(m)
 	return m
 }
@@ -191,12 +203,11 @@ func newBurst(cfg Config, rng *sim.RNG) *modulator {
 // newDiurnal builds the deterministic phase-schedule modulator, cycling
 // the configured multipliers.
 func newDiurnal(phases []RatePhase) *modulator {
-	i := -1
-	m := &modulator{}
+	m := &modulator{phase: -1}
 	m.advance = func(m *modulator) {
-		i = (i + 1) % len(phases)
-		m.mult = phases[i].Mult
-		m.left = float64(phases[i].Cycles)
+		m.phase = (m.phase + 1) % len(phases)
+		m.mult = phases[m.phase].Mult
+		m.left = float64(phases[m.phase].Cycles)
 	}
 	m.advance(m)
 	return m

@@ -41,6 +41,13 @@ type Runner struct {
 	// runner processes sharing a Cache partition the sweep instead of
 	// duplicating work. Denied points are marked PointResult.Skipped.
 	Lease Lease
+
+	// Checkpoints, when set, serves each point's warm state from a
+	// content-addressed checkpoint cache: points sharing a measurement
+	// prefix (PrefixKey — same system, seed, workload, warmup) warm up
+	// once and restore everywhere else, bit-identically. The Report is
+	// byte-identical with or without it; only wall-clock time changes.
+	Checkpoints *CheckpointStore
 }
 
 // Cache is the Runner's pluggable result cache, keyed by the point's
@@ -194,7 +201,7 @@ func (rn *Runner) Run(ctx context.Context, sw Sweep) (*Report, error) {
 					release = rel
 				}
 
-				r, complete, err := runPoint(runCtx, *p, sw.Quality, sw.SimDomains)
+				r, complete, err := runPoint(runCtx, *p, sw.Quality, sw.SimDomains, rn.Checkpoints)
 				if err != nil {
 					release()
 					if !pointErr(i, *p, err) {
@@ -286,12 +293,12 @@ func effectiveWorkers(workers, domains, procs int) int {
 // (runSeeds re-raises the first worker panic on this goroutine) into an
 // error that names the point. complete is false when cancellation cut
 // the measurement short, in which case res must be discarded.
-func runPoint(ctx context.Context, p Point, q Quality, domains int) (res Result, complete bool, err error) {
+func runPoint(ctx context.Context, p Point, q Quality, domains int, ck *CheckpointStore) (res Result, complete bool, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("nocout: point %s: %v", p, r)
 		}
 	}()
-	res, complete = runSeeds(ctx, p.Config, p.wl, q, domains)
+	res, complete = runSeeds(ctx, p.Config, p.wl, q, domains, ck)
 	return res, complete, nil
 }
