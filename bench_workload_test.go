@@ -1,6 +1,8 @@
 package nocout
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 
 	"nocout/internal/workload"
@@ -36,6 +38,81 @@ func BenchmarkWorkloadStream(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			st.Next()
 		}
+	})
+}
+
+// BenchmarkTraceFormat compares the two trace container formats on the
+// same 16-core Quick-length recording: decode cost (ns/op is ns per
+// replayed instruction) and on-disk compression ratio (in-memory stream
+// bytes over file bytes, reported as compress-x). NOC2 decodes once up
+// front and replays from memory; NOC3 decodes blocks as replay reaches
+// them, so its ns/op includes steady-state block decode.
+func BenchmarkTraceFormat(b *testing.B) {
+	cfg := DefaultConfig(Mesh)
+	cfg.Cores = 16
+	perCore := int(Quick.Warmup+Quick.Window) * 3
+	src, err := ParseWorkload("MapReduce-C")
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := b.TempDir()
+	noc2 := filepath.Join(dir, "bench2.noctrace")
+	noc3 := filepath.Join(dir, "bench3.noctrace")
+	cap, err := RecordWorkload(src, cfg.Cores, perCore, cfg.Seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := cap.Save(noc2); err != nil {
+		b.Fatal(err)
+	}
+	if err := RecordTraceFile(noc3, src, cfg.Cores, perCore, cfg.Seed); err != nil {
+		b.Fatal(err)
+	}
+	rawBytes := float64(cfg.Cores) * float64(perCore) * 24 // in-memory cpu.Instr size
+	compressX := func(b *testing.B, path string) {
+		st, err := os.Stat(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rawBytes/float64(st.Size()), "compress-x")
+	}
+
+	b.Run("noc2-decode", func(b *testing.B) {
+		total := int64(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c, err := LoadCapture(noc2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			st := c.StreamFor(0, 1)
+			for k := 0; k < perCore; k++ {
+				st.Next()
+			}
+			total += int64(perCore)
+		}
+		b.StopTimer()
+		compressX(b, noc2)
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(total), "ns/instr")
+	})
+	b.Run("noc3-decode", func(b *testing.B) {
+		total := int64(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tf, err := workload.OpenTraceFile(noc3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			st := tf.StreamFor(0, 1)
+			for k := 0; k < perCore; k++ {
+				st.Next()
+			}
+			total += int64(perCore)
+			tf.Close()
+		}
+		b.StopTimer()
+		compressX(b, noc3)
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(total), "ns/instr")
 	})
 }
 

@@ -2,6 +2,7 @@ package nocout
 
 import (
 	"bytes"
+	"path/filepath"
 	"reflect"
 	"testing"
 
@@ -140,6 +141,53 @@ func TestCheckpointShardedConformance(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestCheckpointNOC3TraceConformance: a chip replaying a NOC3 streaming
+// trace snapshots and restores mid-trace bit-identically — the (block,
+// offset) stream cursors serialize, the restore seeks each core's block
+// from its keyframe, and the window after the snapshot is
+// cycle-for-cycle identical to the donor. The NOC2 capture of the same
+// recording is held to the same contract, proving cursor semantics are
+// format-independent.
+func TestCheckpointNOC3TraceConformance(t *testing.T) {
+	cfg := DefaultConfig(Mesh)
+	cfg.Cores = 16
+	perCore := int(confQ.Warmup+confQ.Window) * 3
+	src, err := workload.Parse("MapReduce-C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	noc3 := filepath.Join(dir, "mrc.noctrace")
+	if err := workload.RecordFile(noc3, src, cfg.Cores, perCore, cfg.Seed); err != nil {
+		t.Fatal(err)
+	}
+	cap, err := workload.Record(src, cfg.Cores, perCore, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		w    workload.Workload
+	}{
+		{"noc2", cap},
+		{"noc3", mustLoadTrace(t, noc3)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			donor, snap, _ := warmSnapshot(t, cfg, tc.w, 1, confQ.Warmup)
+			verifyRestore(t, donor, snap, cfg, tc.w, 1, confQ.Window)
+		})
+	}
+}
+
+func mustLoadTrace(t *testing.T, path string) workload.Workload {
+	t.Helper()
+	w, err := workload.LoadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
 }
 
 // TestCheckpointOpenSystemConformance: the open-system request lifecycle

@@ -14,6 +14,8 @@
 //	nocout -design mesh -mem-lat 120 -mem-bw 6.4 -workload websearch
 //	nocout -workload websearch -cores 16 -record-trace ws.noctrace
 //	nocout -design mesh -cores 16 -workload trace:ws.noctrace
+//	nocout -trace-info ws.noctrace
+//	nocout -trace-convert old-noc2.noctrace new-noc3.noctrace
 //	nocout -design mesh -workload open-poisson -offered-loads 0.5,2,8
 //	nocout -designs mesh,nocout -workload websearch -arrival mmpp -offered-loads 0.5,2,8 -csv
 //	nocout -design nocout -workload "opensys:arrival=burst,hurst=0.9,base=data-serving,rate=4"
@@ -34,6 +36,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -84,6 +87,9 @@ func run() error {
 	csvOut := flag.Bool("csv", false, "emit the structured Report as CSV")
 	recordTrace := flag.String("record-trace", "", "record the workload to this capture file and exit (replay with -workload trace:<path>)")
 	recordInstrs := flag.Int("record-instrs", 96000, "instructions per core to record with -record-trace (96k covers a quick-quality run)")
+	recordFormat := flag.String("record-format", "noc3", "container format for -record-trace: noc3 (streaming, bounded-memory) | noc2 (legacy monolithic)")
+	traceInfo := flag.String("trace-info", "", "print a trace file's header, section, and compression metadata (NOC2 or NOC3), then exit")
+	traceConvert := flag.String("trace-convert", "", "upgrade this NOC2 capture to a NOC3 container at the positional output path, then exit (replay is bit-identical)")
 	campaignDir := flag.String("campaign", "", "run as a resumable campaign worker over this shared directory (created from the sweep flags; an existing campaign is resumed/joined as-is)")
 	campaignMerge := flag.String("campaign-merge", "", "assemble a campaign directory's stored results into the final report and exit")
 	campaignWorker := flag.String("campaign-worker", "", "lease owner identity for -campaign (default hostname-pid; must be unique per worker)")
@@ -212,6 +218,38 @@ func run() error {
 		return nil
 	}
 
+	// Trace inspection and conversion operate on files alone — no workload
+	// or design resolution, like -campaign-merge above.
+	if *traceInfo != "" {
+		ti, err := nocout.InspectTrace(*traceInfo)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(ti)
+		}
+		ti.WriteText(os.Stdout)
+		return nil
+	}
+	if *traceConvert != "" {
+		if flag.NArg() != 1 {
+			return fmt.Errorf("-trace-convert needs an output path: nocout -trace-convert in.noctrace out.noctrace")
+		}
+		out := flag.Arg(0)
+		if err := nocout.ConvertTrace(*traceConvert, out); err != nil {
+			return err
+		}
+		ti, err := nocout.InspectTrace(out)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("converted %s (NOC2) -> %s (NOC3): %d cores, %d instructions, %d bytes (%.3f bytes/instr)\n",
+			*traceConvert, out, ti.Cores, ti.Instrs, ti.FileBytes, ti.BytesPerInstr())
+		return nil
+	}
+
 	wnames := []string{*wl}
 	if *workloads != "" {
 		wnames = strings.Split(*workloads, ",")
@@ -245,15 +283,28 @@ func run() error {
 		if len(ws) != 1 {
 			return fmt.Errorf("-record-trace captures exactly one workload, got %d", len(ws))
 		}
-		cap, err := nocout.RecordWorkload(ws[0], *cores, *recordInstrs, *seed)
-		if err != nil {
-			return err
+		format := strings.ToUpper(*recordFormat)
+		switch strings.ToLower(*recordFormat) {
+		case "noc3":
+			// The streaming recorder: blocks are encoded and flushed as the
+			// source produces them, so recording memory is O(cores × block)
+			// however long the trace is.
+			if err := nocout.RecordTraceFile(*recordTrace, ws[0], *cores, *recordInstrs, *seed); err != nil {
+				return err
+			}
+		case "noc2":
+			cap, err := nocout.RecordWorkload(ws[0], *cores, *recordInstrs, *seed)
+			if err != nil {
+				return err
+			}
+			if err := cap.Save(*recordTrace); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("-record-format %q: want noc3 or noc2", *recordFormat)
 		}
-		if err := cap.Save(*recordTrace); err != nil {
-			return err
-		}
-		fmt.Printf("recorded %s: %d cores x %d instructions (seed %d) -> %s\n",
-			ws[0].Name(), *cores, *recordInstrs, *seed, *recordTrace)
+		fmt.Printf("recorded %s: %d cores x %d instructions (seed %d) -> %s (%s)\n",
+			ws[0].Name(), *cores, *recordInstrs, *seed, *recordTrace, format)
 		fmt.Printf("replay with: -workload trace:%s\n", *recordTrace)
 		return nil
 	}

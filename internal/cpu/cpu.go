@@ -44,7 +44,12 @@ type Instr struct {
 	DAddr uint64 // data byte address (loads/stores)
 }
 
-// Stream produces a core's dynamic instruction trace.
+// Stream produces a core's dynamic instruction trace. Next has no error
+// path by design — a simulation cannot continue without its next
+// instruction — so implementations backed by external state decoded on
+// demand (the workload package's block-streamed trace replay, for one)
+// must validate that state up front when constructed and may panic only
+// on genuine mid-run corruption of an already-validated source.
 type Stream interface {
 	Next() Instr
 }

@@ -121,7 +121,13 @@ func Record(w Workload, cores, perCore int, seed uint64) (*Capture, error) {
 		}
 		cc := CoreCapture{Member: member, Params: cp, Local: local, Instrs: make([]cpu.Instr, perCore)}
 		for k := range cc.Instrs {
-			cc.Instrs[k] = st.Next()
+			in := st.Next()
+			if in.Kind > cpu.KindStore {
+				// KindIdle (and anything beyond) has no record encoding; a
+				// capture of it would be unreadable, so refuse up front.
+				return nil, fmt.Errorf("workload: core %d record %d has kind %d; only ALU/load/store streams are recordable", i, k, in.Kind)
+			}
+			cc.Instrs[k] = in
 		}
 		c.Cores[i] = cc
 	}
@@ -226,88 +232,120 @@ func (c *Capture) Write(w io.Writer) error {
 		}
 	}
 	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(captureMagic[:]); err != nil {
-		return err
-	}
-	var buf [binary.MaxVarintLen64]byte
-	putU := func(v uint64) error {
-		k := binary.PutUvarint(buf[:], v)
-		_, err := bw.Write(buf[:k])
-		return err
-	}
-	putI := func(v int64) error {
-		k := binary.PutVarint(buf[:], v)
-		_, err := bw.Write(buf[:k])
-		return err
-	}
-	putS := func(s string) error {
-		if err := putU(uint64(len(s))); err != nil {
-			return err
-		}
-		_, err := bw.WriteString(s)
-		return err
-	}
-	putRegion := func(r Region) error {
-		if err := putU(r.Base); err != nil {
-			return err
-		}
-		return putU(r.Size)
-	}
-	if err := putS(c.Source); err != nil {
-		return err
-	}
-	if err := putU(c.Seed); err != nil {
-		return err
-	}
-	if err := putU(uint64(c.ScaleLimit)); err != nil {
-		return err
-	}
-	if err := putRegion(c.Instr); err != nil {
-		return err
-	}
-	if err := putRegion(c.Hot); err != nil {
-		return err
-	}
-	if err := putU(uint64(len(c.Cores))); err != nil {
-		return err
-	}
+	enc := &noc2Enc{w: bw}
+	enc.header(c.header(), len(c.Cores))
 	for i := range c.Cores {
 		cc := &c.Cores[i]
 		if len(cc.Instrs) == 0 {
 			return fmt.Errorf("workload: core %d has an empty stream", i)
 		}
-		if err := putS(cc.Member); err != nil {
-			return err
-		}
-		for _, v := range []uint64{uint64(cc.Params.Width), uint64(cc.Params.ROB),
-			math.Float64bits(cc.Params.BaseCPI), math.Float64bits(cc.Params.DepChance)} {
-			if err := putU(v); err != nil {
-				return err
-			}
-		}
-		if err := putRegion(cc.Local); err != nil {
-			return err
-		}
-		if err := putU(uint64(len(cc.Instrs))); err != nil {
-			return err
-		}
+		enc.coreHeader(coreMeta{Member: cc.Member, Params: cc.Params, Local: cc.Local, Total: len(cc.Instrs)})
 		prev := int64(0)
 		for _, in := range cc.Instrs {
-			if err := putU(uint64(in.Kind)); err != nil {
-				return err
-			}
-			if err := putI(int64(in.IAddr) - prev); err != nil {
-				return err
-			}
-			prev = int64(in.IAddr)
-			if in.Kind != cpu.KindALU {
-				if err := putU(in.DAddr); err != nil {
-					return err
-				}
-			}
+			enc.instr(in, &prev)
 		}
 	}
+	if enc.err != nil {
+		return enc.err
+	}
 	return bw.Flush()
+}
+
+// captureHeader is the NOC2 header before the per-core blocks; the NOC3
+// container carries the identical fields, so both writers share it.
+type captureHeader struct {
+	Source     string
+	Seed       uint64
+	ScaleLimit int
+	Instr, Hot Region
+}
+
+// coreMeta is one core's identity in a capture header: everything but
+// the instruction records themselves.
+type coreMeta struct {
+	Member string
+	Params cpu.Params
+	Local  Region
+	Total  int // recorded dynamic instructions
+}
+
+// header extracts the capture's header fields.
+func (c *Capture) header() captureHeader {
+	return captureHeader{Source: c.Source, Seed: c.Seed, ScaleLimit: c.ScaleLimit, Instr: c.Instr, Hot: c.Hot}
+}
+
+// noc2Enc emits the canonical NOC2 byte stream with a sticky error. It is
+// the single producer of those bytes: Capture.Write streams it to a file,
+// and the NOC3 recorder streams it into a SHA-256 so a recording's
+// fingerprint is the hash of its canonical NOC2 encoding without ever
+// materializing that encoding (fingerprints stay identical across the two
+// container formats).
+type noc2Enc struct {
+	w   io.Writer
+	err error
+	buf [binary.MaxVarintLen64]byte
+}
+
+func (e *noc2Enc) write(b []byte) {
+	if e.err == nil {
+		_, e.err = e.w.Write(b)
+	}
+}
+
+func (e *noc2Enc) putU(v uint64) {
+	k := binary.PutUvarint(e.buf[:], v)
+	e.write(e.buf[:k])
+}
+
+func (e *noc2Enc) putI(v int64) {
+	k := binary.PutVarint(e.buf[:], v)
+	e.write(e.buf[:k])
+}
+
+func (e *noc2Enc) putS(s string) {
+	e.putU(uint64(len(s)))
+	if e.err == nil {
+		_, e.err = io.WriteString(e.w, s)
+	}
+}
+
+func (e *noc2Enc) putRegion(r Region) {
+	e.putU(r.Base)
+	e.putU(r.Size)
+}
+
+// header emits the magic and the shared header fields.
+func (e *noc2Enc) header(h captureHeader, cores int) {
+	e.write(captureMagic[:])
+	e.putS(h.Source)
+	e.putU(h.Seed)
+	e.putU(uint64(h.ScaleLimit))
+	e.putRegion(h.Instr)
+	e.putRegion(h.Hot)
+	e.putU(uint64(cores))
+}
+
+// coreHeader emits one core's identity block (member, params, local
+// region, stream length); the caller follows with Total instr records.
+func (e *noc2Enc) coreHeader(m coreMeta) {
+	e.putS(m.Member)
+	e.putU(uint64(m.Params.Width))
+	e.putU(uint64(m.Params.ROB))
+	e.putU(math.Float64bits(m.Params.BaseCPI))
+	e.putU(math.Float64bits(m.Params.DepChance))
+	e.putRegion(m.Local)
+	e.putU(uint64(m.Total))
+}
+
+// instr emits one NOC1-encoded record, threading the per-core delta
+// baseline through prev.
+func (e *noc2Enc) instr(in cpu.Instr, prev *int64) {
+	e.putU(uint64(in.Kind))
+	e.putI(int64(in.IAddr) - *prev)
+	*prev = int64(in.IAddr)
+	if in.Kind != cpu.KindALU {
+		e.putU(in.DAddr)
+	}
 }
 
 // ReadCapture decodes a capture written by Write. Corrupt or truncated

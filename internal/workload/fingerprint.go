@@ -76,6 +76,14 @@ func Fingerprint(w Workload) ([]byte, error) {
 		}
 		sum := sha256.Sum256(buf.Bytes())
 		return []byte("capture:" + hex.EncodeToString(sum[:])), nil
+	case *TraceFile:
+		// A NOC3 trace stores the SHA-256 of its canonical NOC2 encoding,
+		// computed while recording — so the same recording fingerprints
+		// identically in either container format and every
+		// content-addressed cache (Point.Key, checkpoint prefixes)
+		// survives a format conversion.
+		fp := t.Fingerprint()
+		return []byte("capture:" + hex.EncodeToString(fp[:])), nil
 	}
 	if f, ok := w.(Fingerprinter); ok {
 		b, err := f.WorkloadFingerprint()

@@ -162,7 +162,7 @@ func MustRegisterScheme(name string, fn func(spec string) (Workload, error)) {
 func Parse(s string) (Workload, error) {
 	trimmed := strings.TrimSpace(s)
 	if strings.HasPrefix(strings.ToLower(trimmed), TraceScheme) {
-		return LoadCapture(trimmed[len(TraceScheme):])
+		return LoadTrace(trimmed[len(TraceScheme):])
 	}
 	if i := strings.IndexByte(trimmed, ':'); i > 0 {
 		schemeMu.RLock()

@@ -82,6 +82,37 @@ func (r *replay) LoadState(d *ckpt.Dec) {
 	r.i = i
 }
 
+// SaveState implements ckpt.Saver: a NOC3 replay cursor serializes as a
+// (block, offset) pair, so a restore seeks the trace file instead of
+// re-reading the stream — O(keyframeEvery × block) work wherever the
+// cursor is in a multi-gigabyte recording.
+func (r *blockReplay) SaveState(e *ckpt.Enc) {
+	e.Int(r.blk)
+	e.Int(r.off)
+}
+
+// LoadState implements ckpt.Loader. The seek decodes from the block's
+// keyframe, so a corrupt-on-disk block surfaces here as a checkpoint
+// error, not a mid-run panic.
+func (r *blockReplay) LoadState(d *ckpt.Dec) {
+	blk := d.Int()
+	off := d.Int()
+	if d.Err() != nil {
+		return
+	}
+	if blk < 0 || blk >= len(r.t.cores[r.core].blocks) {
+		d.Corrupt("trace block cursor %d out of range (%d blocks)", blk, len(r.t.cores[r.core].blocks))
+		return
+	}
+	if off < 0 || off >= r.t.countOf(r.core, blk) {
+		d.Corrupt("trace offset cursor %d out of range (block %d holds %d)", off, blk, r.t.countOf(r.core, blk))
+		return
+	}
+	if err := r.seek(blk, off); err != nil {
+		d.Corrupt("seeking trace to (%d, %d): %v", blk, off, err)
+	}
+}
+
 // SaveState implements ckpt.Saver.
 func (r *coreReplay) SaveState(e *ckpt.Enc) { e.Int(r.i) }
 

@@ -285,6 +285,41 @@ func RecordWorkload(w Workload, cores, perCore int, seed uint64) (*Capture, erro
 	return workload.Record(w, cores, perCore, seed)
 }
 
-// LoadCapture reads a recorded workload capture from a NOC2 file, as
-// the "trace:<path>" scheme does.
+// LoadCapture reads a recorded workload capture from a NOC2 file; the
+// whole recording is materialized in memory. Prefer LoadTrace, which
+// also opens NOC3 containers with O(block) replay memory.
 func LoadCapture(path string) (*Capture, error) { return workload.LoadCapture(path) }
+
+// TraceFile is an opened NOC3 streaming trace container: a Workload
+// whose replay decodes fixed-count blocks on demand, so memory stays
+// O(cores × block) however long the recording is. Obtain one with
+// LoadTrace (or the "trace:<path>" scheme) and Close it when done.
+type TraceFile = workload.TraceFile
+
+// TraceInfo summarizes a trace file on disk in either container format —
+// header metadata, per-section byte accounting, block/predictor counts —
+// as the `nocout -trace-info` subcommand reports.
+type TraceInfo = workload.TraceInfo
+
+// LoadTrace opens a trace file in either container format, as the
+// "trace:<path>" scheme does: NOC3 files stream blocks lazily, NOC2
+// files load whole through the compatibility reader.
+func LoadTrace(path string) (Workload, error) { return workload.LoadTrace(path) }
+
+// RecordTraceFile records cores×perCore instructions from w at the given
+// seed straight into a NOC3 container at path — bounded-memory end to
+// end: blocks are encoded and flushed as the streams produce them, never
+// the whole capture at once.
+func RecordTraceFile(path string, w Workload, cores, perCore int, seed uint64) error {
+	return workload.RecordFile(path, w, cores, perCore, seed)
+}
+
+// ConvertTrace upgrades a NOC2 capture file to a NOC3 container offline:
+// the converted trace replays bit-identically and keeps the recording's
+// fingerprint, so content-addressed caches keyed on the old file remain
+// valid for the new one.
+func ConvertTrace(in, out string) error { return workload.ConvertFile(in, out) }
+
+// InspectTrace reads a trace file's metadata in either format without
+// replaying it.
+func InspectTrace(path string) (*TraceInfo, error) { return workload.InspectTrace(path) }
